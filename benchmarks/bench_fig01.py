@@ -1,0 +1,21 @@
+"""Bench: Fig. 1 — relative performance over the campaign.
+
+Shape targets: every 128-node app shows run-to-run spread; the worst
+observed run is >= 1.5x the best for at least one app (paper: up to ~3x).
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.mark.paper_artifact("fig01")
+def test_fig01_relative_performance(once, campaign, fast):
+    res = once(run_experiment, "fig01", campaign=campaign)
+    print("\n" + res.render())
+    series = res.data["series"]
+    assert len(series) == 4
+    worst = {k: float(s["relative"].max()) for k, s in series.items()}
+    assert all(v >= 1.0 for v in worst.values())
+    if not fast:
+        assert max(worst.values()) >= 1.5

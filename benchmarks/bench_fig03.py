@@ -1,0 +1,23 @@
+"""Bench: Fig. 3 — mean time-per-step behaviour of the six datasets.
+
+Shape targets: MILC's 20 warmup steps are much faster than the next 60;
+AMG runs slower per step at 512 nodes than at 128 (weak scaling); each
+dataset's step count matches the paper.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.mark.paper_artifact("fig03")
+def test_fig03_mean_step_trends(once, campaign):
+    res = once(run_experiment, "fig03", campaign=campaign)
+    print("\n" + res.render())
+    trends = res.data["trends"]
+    assert len(trends["AMG-128"]) == 20
+    assert len(trends["MILC-128"]) == 80
+    assert len(trends["miniVite-128"]) == 6
+    assert len(trends["UMT-128"]) == 7
+    assert trends["MILC-128"][:20].mean() < 0.6 * trends["MILC-128"][20:].mean()
+    assert trends["AMG-512"].mean() > trends["AMG-128"].mean()

@@ -1,0 +1,26 @@
+"""Bench: Fig. 4 — AMG & MILC @512 compute/MPI split + routine breakdown.
+
+Shape targets: MPI dominates (AMG ~82%+, MILC ~89%+ of time); compute is
+stable across runs (no OS noise); MPI time varies strongly best-to-worst;
+the paper's dominant routines carry the bulk of MPI time.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.mark.paper_artifact("fig04")
+def test_fig04_mpi_breakdown_amg_milc(once, campaign):
+    res = once(run_experiment, "fig04", campaign=campaign)
+    print("\n" + res.render())
+    for key in ("AMG-512", "MILC-512"):
+        stats = res.data[key]
+        assert stats["mpi_fraction"] > 0.75
+        comp = stats["compute"]
+        assert abs(comp["worst"] - comp["best"]) < 0.1 * comp["average"]
+        assert stats["mpi"]["worst"] > 1.2 * stats["mpi"]["best"]
+    amg_routines = set(res.data["AMG-512"]["routines"])
+    assert {"Iprobe", "Test", "Testall", "Waitall", "Allreduce"} <= amg_routines
+    milc_routines = set(res.data["MILC-512"]["routines"])
+    assert {"Allreduce", "Wait", "Isend", "Irecv"} <= milc_routines

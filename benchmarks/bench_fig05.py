@@ -1,0 +1,22 @@
+"""Bench: Fig. 5 — miniVite & UMT @128 compute/MPI split + routines.
+
+Shape targets: miniVite >95% MPI with Waitall dominant; UMT the smallest
+MPI fraction of the four codes yet a large worst/best MPI spread.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.mark.paper_artifact("fig05")
+def test_fig05_mpi_breakdown_minivite_umt(once, campaign):
+    res = once(run_experiment, "fig05", campaign=campaign)
+    print("\n" + res.render())
+    mv = res.data["miniVite-128"]
+    assert mv["mpi_fraction"] > 0.95
+    assert mv["routines"]["Waitall"]["average"] > 0.6 * mv["mpi"]["average"]
+    umt = res.data["UMT-128"]
+    assert umt["mpi_fraction"] < 0.6  # smallest of the four codes
+    assert umt["mpi"]["worst"] > 1.3 * umt["mpi"]["best"]
+    assert {"Wait", "Barrier", "Allreduce"} <= set(umt["routines"])

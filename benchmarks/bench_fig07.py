@@ -1,0 +1,20 @@
+"""Bench: Fig. 7 — mean counter trends mirror the mean time trend (AMG).
+
+Shape target: strong positive correlation between the mean per-step trend
+of the traffic/stall counters and the mean time-per-step trend — the
+paper's justification for mean-centering before deviation modelling.
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.mark.paper_artifact("fig07")
+def test_fig07_counter_trends(once, campaign):
+    res = once(run_experiment, "fig07", campaign=campaign)
+    print("\n" + res.render())
+    corr = res.data["correlations"]
+    assert corr["RT_FLIT_TOT"] > 0.8
+    assert corr["RT_RB_STL"] > 0.6
+    assert corr["PT_FLIT_TOT"] > 0.8

@@ -1,0 +1,39 @@
+"""Bench: Fig. 8 — forecasting MAPE for the AMG datasets.
+
+Shape targets: MAPE in the paper's 2–12% band for every (m, k, tier)
+cell; at the larger horizon, the longer temporal context (m=8) does not
+hurt and typically helps (the paper's m-trend).
+"""
+
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.mark.paper_artifact("fig08")
+def test_fig08_forecast_amg(once, campaign, fast):
+    res = once(run_experiment, "fig08", campaign=campaign, fast=fast)
+    print("\n" + res.render())
+    grid = res.data["grid"]
+    assert set(grid) == {"AMG-128", "AMG-512"}
+    for key, cells in grid.items():
+        assert len(cells) == 8  # 2 m x 2 k x 2 tiers
+        for cell in cells:
+            assert cell.mape > 0
+            if not fast:
+                assert cell.mape < 15.0, f"{key} {cell}"
+    if fast:
+        return
+
+    def cell(key, m, k, tier):
+        return next(
+            r.mape for r in grid[key] if (r.m, r.k, r.tier) == (m, k, tier)
+        )
+
+    # AMG-512 shows the paper's trends cleanly: more context and a longer
+    # horizon both lower the error.
+    assert cell("AMG-512", 8, 10, "app") <= cell("AMG-512", 3, 5, "app") + 0.5
+    # Placement features add little for AMG (paper §V-C).
+    for key in grid:
+        gap = abs(cell(key, 8, 10, "app") - cell(key, 8, 10, "app+placement"))
+        assert gap < 3.0

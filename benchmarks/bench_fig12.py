@@ -1,0 +1,33 @@
+"""Bench: Fig. 12 — forecasting 40-step segments of the 620-step MILC run.
+
+Shape targets: predictions track the observed segment times of a run the
+model never saw (trained only on the regular 80-step dataset); errors stay
+bounded, with occasional biased segments (the paper's "irreducible bias").
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import run_experiment
+
+
+@pytest.mark.paper_artifact("fig12")
+def test_fig12_long_run_forecast(once, campaign, fast):
+    res = once(run_experiment, "fig12", campaign=campaign, fast=fast)
+    print("\n" + res.render())
+    obs = np.asarray(res.data["observed"])
+    pred = np.asarray(res.data["predicted"])
+    assert len(obs) == len(pred) >= 3
+    assert (obs > 0).all() and (pred > 0).all()
+    # Same scale: predictions within a factor 2 of observations everywhere.
+    ratio = pred / obs
+    assert (ratio > 0.5).all() and (ratio < 2.0).all()
+    if not fast:
+        assert len(obs) >= 10  # 620 steps / 40-step segments
+        assert res.data["mape"] < 15.0
+        # Tracking, not just scale: predictions correlate with observations
+        # across segments when the run varies enough for correlation to be
+        # meaningful (this particular long run is fairly steady: ~3% CoV).
+        if obs.std() > 0.05 * obs.mean():
+            r = float(np.corrcoef(obs, pred)[0, 1])
+            assert r > 0.2

@@ -1,0 +1,43 @@
+"""Benchmark fixtures: one shared campaign for every table/figure bench.
+
+By default the benches run against the benchmark-scale 120-day campaign
+(generated once and cached on disk; ~3 minutes cold).  Set ``REPRO_FAST=1``
+to smoke the whole harness on the test-scale campaign instead.
+
+Run:  pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.context import experiment_config, fast_requested
+from repro.campaign.runner import run_campaign
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "paper_artifact(name): which paper table/figure this regenerates"
+    )
+
+
+@pytest.fixture(scope="session")
+def fast() -> bool:
+    return fast_requested()
+
+
+@pytest.fixture(scope="session")
+def campaign(fast):
+    """The campaign every figure bench analyses (cached on disk)."""
+    return run_campaign(experiment_config(fast))
+
+
+@pytest.fixture()
+def once(benchmark):
+    """Run the benched callable exactly once (experiments are minutes-long;
+    statistical repetition happens across CV folds inside them)."""
+
+    def runner(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return runner

@@ -1,0 +1,49 @@
+"""Forecasting future time steps with attention (paper §V-C, Figs. 10/12).
+
+Trains the scalar-dot-product-attention forecaster on a MILC dataset and
+
+1. reports MAPE for two feature tiers (job-local counters vs + system-wide
+   LDMS features), and
+2. forecasts an unseen long MILC run segment by segment.
+
+Run:  python examples/forecast_milc.py          (~2-3 minutes)
+"""
+
+from repro.analysis.forecasting import forecast_mape, long_run_forecast
+from repro.campaign.runner import CampaignConfig, run_campaign
+from repro.experiments.context import long_run_key
+from repro.ml.attention import AttentionForecaster
+
+
+def model(seed: int = 0) -> AttentionForecaster:
+    return AttentionForecaster(d_model=16, hidden=32, epochs=100, seed=seed)
+
+
+def main() -> None:
+    cfg = CampaignConfig.tiny(days=12.0, use_cache=True)
+    print("generating campaign (cached after first run)...")
+    camp = run_campaign(cfg)
+    ds = camp["MILC-128"]
+
+    m, k = 10, 20
+    print(f"\nforecasting the aggregate time of the next k={k} steps "
+          f"from the last m={m} steps ({len(ds)} runs):")
+    for tier in ("app", "app+placement+io+sys"):
+        res = forecast_mape(ds, m=m, k=k, tier=tier, n_splits=2, model_factory=model)
+        print(f"  features={tier:22s} MAPE = {res.mape:5.2f}%")
+
+    lkey = long_run_key(camp)
+    long_run = camp[lkey].runs[0]
+    print(f"\nforecasting the unseen long run {lkey} "
+          f"({len(long_run.step_times)} steps) in 20-step segments:")
+    fc = long_run_forecast(
+        ds, long_run, m=10, k=20, tier="app+placement+io+sys", model_factory=model
+    )
+    for s, obs, pred in zip(fc.segment_starts, fc.observed, fc.predicted):
+        print(f"  steps {s:3d}-{s + 19:3d}: observed {obs:7.1f}s  "
+              f"predicted {pred:7.1f}s")
+    print(f"segment MAPE: {fc.mape:.2f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""Quickstart: a probe job on a busy dragonfly, in ~30 lines of API.
+
+Builds a small Cray-XC-style dragonfly, places a MILC-like probe job and
+a noisy neighbour on it, solves the congestion state, and reads the same
+Aries counters the paper collects — showing the causal chain the whole
+study rests on: neighbour traffic -> link/NIC utilisation -> stalls ->
+slowdown.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.config import rng_for
+from repro.network.counters import synthesize_router_counters
+from repro.network.engine import CongestionEngine
+from repro.network.traffic import io_flows, router_alltoall_flows
+from repro.topology.dragonfly import DragonflyTopology
+from repro.topology.placement import AllocationPolicy, allocate, placement_features
+
+
+def main() -> None:
+    # A 15-group dragonfly with a 12x4 router grid, 4 nodes per router.
+    topo = DragonflyTopology.from_preset("small")
+    print("topology:", topo.describe())
+    from repro.topology.render import render_group
+
+    print(render_group(topo, group=1))
+
+    rng = rng_for("quickstart")
+    engine = CongestionEngine(topo)
+
+    # Our probe job: 128 nodes, fragmented placement (busy-system style).
+    free = topo.compute_nodes
+    ours = allocate(topo, free, 128, AllocationPolicy.RANDOM, rng)
+    print("probe placement:", placement_features(topo, ours))
+
+    probe = engine.route(router_alltoall_flows(topo, ours, total_bytes=30e9))
+
+    # A HipMer-like neighbour: communication + heavy filesystem traffic.
+    remaining = np.setdiff1d(free, ours)
+    theirs = allocate(topo, remaining, 512, AllocationPolicy.RANDOM, rng)
+    neighbour = engine.route(
+        router_alltoall_flows(topo, theirs, total_bytes=400e9)
+    )
+    neighbour_io = engine.route(io_flows(topo, theirs, bytes_per_sec=150e9))
+
+    # Solve the network twice: quiet machine vs busy machine.
+    for label, items in [
+        ("quiet ", [probe]),
+        ("busy  ", [probe, neighbour, neighbour_io]),
+    ]:
+        state = engine.solve(items)
+        fabric, endpoint = state.metrics[0].volume_weighted(probe.flows.volume)
+        counters = synthesize_router_counters(state)
+        routers = np.unique(topo.node_router(ours))
+        stalls = counters["RT_RB_STL"][routers].sum()
+        flits = counters["RT_FLIT_TOT"][routers].sum()
+        print(
+            f"{label}: fabric slowdown {fabric:5.2f}x, endpoint {endpoint:5.2f}x, "
+            f"job-router RT_RB_STL {stalls:9.3g}/s, RT_FLIT_TOT {flits:9.3g}/s"
+        )
+
+    print(
+        "\nThe busy-machine run shows elevated stall counters on the probe's"
+        "\nrouters and a fabric slowdown >1 — the signal the paper's models"
+        "\nlearn from."
+    )
+
+
+if __name__ == "__main__":
+    main()

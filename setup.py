@@ -1,0 +1,7 @@
+"""Legacy setup shim: the execution environment lacks the `wheel` package,
+so PEP 660 editable installs fail; this enables `pip install -e .` via the
+setuptools legacy develop path. All metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,147 @@
+"""Baseline forecasters, for ablating the paper's attention model.
+
+The paper adopts attention (§IV-C) without comparing against simpler
+regressors.  This module adds the natural baselines an open-source user
+would ask for:
+
+* **GBR over flattened windows** — the same gradient-boosted machinery
+  the deviation models use, with the (m, H) window unrolled to m*H
+  features;
+* **last-value carry-forward** — predict k times the most recent step's
+  duration (no learning at all; the floor any model must beat);
+* **window-mean carry-forward** — k times the mean of the last m steps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.campaign.datasets import RunDataset
+from repro.analysis.forecasting import TIERS, build_windows
+from repro.ml.gbr import GradientBoostedRegressor
+from repro.ml.metrics import mape
+from repro.ml.model_selection import GroupKFold
+
+
+class GBRForecaster:
+    """Gradient-boosted regression over flattened (m, H) windows."""
+
+    def __init__(
+        self,
+        n_estimators: int = 120,
+        max_depth: int = 3,
+        learning_rate: float = 0.08,
+        seed: int = 0,
+    ) -> None:
+        self._gbr = GradientBoostedRegressor(
+            n_estimators=n_estimators,
+            max_depth=max_depth,
+            learning_rate=learning_rate,
+            random_state=seed,
+        )
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "GBRForecaster":
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 3:
+            raise ValueError("x must be (n, m, H) windows")
+        self._gbr.fit(x.reshape(len(x), -1), np.asarray(y, dtype=np.float64))
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        return self._gbr.predict(x.reshape(len(x), -1))
+
+
+class CarryForwardForecaster:
+    """Predict k * (duration statistic of the window) — no learning.
+
+    Requires the per-step *time* as one of the feature channels is not
+    guaranteed, so it learns a single scale factor from the training
+    targets instead: ``yhat = scale * stat(window)``, with ``stat`` the
+    mean over a designated channel.  With ``channel=None`` it degenerates
+    to predicting the training-mean target (the weakest sane baseline).
+    """
+
+    def __init__(self, channel: int | None = None, last_only: bool = False) -> None:
+        self.channel = channel
+        self.last_only = last_only
+        self._scale: float = 1.0
+        self._mean: float = 0.0
+
+    def _stat(self, x: np.ndarray) -> np.ndarray:
+        if self.channel is None:
+            return np.ones(len(x))
+        series = x[:, :, self.channel]
+        return series[:, -1] if self.last_only else series.mean(axis=1)
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "CarryForwardForecaster":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        s = self._stat(x)
+        denom = float((s * s).sum())
+        self._scale = float((s * y).sum() / denom) if denom > 0 else 0.0
+        self._mean = float(y.mean())
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        if self.channel is None:
+            return np.full(len(x), self._mean)
+        return self._scale * self._stat(x)
+
+
+@dataclass
+class BaselineComparison:
+    """MAPE of every forecaster under the same grouped CV split."""
+
+    key: str
+    m: int
+    k: int
+    tier: str
+    mapes: dict[str, float]
+
+    def winner(self) -> str:
+        return min(self.mapes, key=self.mapes.get)
+
+
+def compare_forecasters(
+    ds: RunDataset,
+    m: int,
+    k: int,
+    tier: str = "app",
+    n_splits: int = 3,
+    seed: int = 0,
+    attention_factory=None,
+) -> BaselineComparison:
+    """Attention vs GBR vs carry-forward baselines on one (m, k) cell."""
+    from repro.analysis.forecasting import default_forecaster
+
+    if attention_factory is None:
+        attention_factory = default_forecaster
+    feats = ds.features(**TIERS[tier])
+    x, y, groups = build_windows(feats, ds.Y, m, k)
+
+    from repro.ml.linear import RidgeForecaster
+
+    models = {
+        "attention": lambda s: attention_factory(s),
+        "gbr": lambda s: GBRForecaster(seed=s),
+        "ridge": lambda s: RidgeForecaster(),
+        "mean-target": lambda s: CarryForwardForecaster(channel=None),
+    }
+    per_model: dict[str, list[float]] = {name: [] for name in models}
+    gkf = GroupKFold(n_splits=n_splits, seed=seed)
+    for fold, (train, test) in enumerate(gkf.split(groups)):
+        for name, factory in models.items():
+            model = factory(seed + fold)
+            model.fit(x[train], y[train])
+            per_model[name].append(mape(y[test], model.predict(x[test])))
+    return BaselineComparison(
+        key=ds.key,
+        m=m,
+        k=k,
+        tier=tier,
+        mapes={name: float(np.mean(v)) for name, v in per_model.items()},
+    )

@@ -1,0 +1,104 @@
+"""Deviation prediction: which counters explain variability (§IV-B, §V-B).
+
+Each time step of each run is one sample.  Both the counters and the
+execution times are mean-centered per step index (removing the Fig. 3 /
+Fig. 7 mean trends), and a GBR model predicts the *deviation*; RFE with
+10-fold CV scores each counter's relevance (Fig. 9).  The paper reports
+the prediction MAPE (< 5% on all datasets) on the reconstructed times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.campaign.datasets import RunDataset
+from repro.ml.gbr import GradientBoostedRegressor
+from repro.ml.rfe import RelevanceResult, relevance_scores
+from repro.network.counters import APP_COUNTERS
+
+
+@dataclass
+class DeviationAnalysis:
+    """RFE relevance of each counter for one dataset (one Fig. 9 row)."""
+
+    key: str
+    relevance: RelevanceResult
+
+    @property
+    def prediction_mape(self) -> float:
+        return self.relevance.prediction_mape
+
+    def scores_by_counter(self) -> dict[str, float]:
+        return dict(zip(self.relevance.feature_names, self.relevance.scores))
+
+    def top_counters(self, k: int = 3) -> list[str]:
+        return self.relevance.top_features(k)
+
+
+def _flatten_mean_centered(
+    ds: RunDataset,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(NT, H) counters, (NT,) deviations, (NT,) per-sample mean trend."""
+    xh, yh = ds.mean_centered()
+    n, t, h = xh.shape
+    _, ym = ds.mean_trends()
+    offsets = np.tile(ym, n)
+    return xh.reshape(n * t, h), yh.reshape(n * t), offsets
+
+
+def default_deviation_estimator() -> GradientBoostedRegressor:
+    return GradientBoostedRegressor(
+        n_estimators=60, max_depth=3, learning_rate=0.1, random_state=0
+    )
+
+
+def deviation_analysis(
+    ds: RunDataset,
+    n_splits: int = 10,
+    seed: int = 0,
+    max_samples: int | None = 3000,
+    estimator_factory=default_deviation_estimator,
+) -> DeviationAnalysis:
+    """Run the §IV-B pipeline on one dataset.
+
+    Returns per-counter relevance scores plus the CV prediction MAPE on
+    reconstructed step times (paper target: < 5%).
+    """
+    if len(ds) < n_splits:
+        raise ValueError(
+            f"dataset {ds.key} has {len(ds)} runs; need >= {n_splits} for CV"
+        )
+    x, y, offsets = _flatten_mean_centered(ds)
+    relevance = relevance_scores(
+        x,
+        y,
+        APP_COUNTERS,
+        estimator_factory=estimator_factory,
+        n_splits=n_splits,
+        seed=seed,
+        mape_offset=offsets,
+        max_samples=max_samples,
+    )
+    return DeviationAnalysis(key=ds.key, relevance=relevance)
+
+
+def deviation_prediction_mape(
+    ds: RunDataset, n_splits: int = 10, seed: int = 0, max_samples: int = 4000
+) -> float:
+    """Just the CV prediction MAPE, without the RFE sweep (cheap check)."""
+    from repro.ml.metrics import mape
+    from repro.ml.model_selection import KFold
+
+    x, y, offsets = _flatten_mean_centered(ds)
+    if len(x) > max_samples:
+        pick = np.random.default_rng(seed).choice(len(x), max_samples, replace=False)
+        x, y, offsets = x[pick], y[pick], offsets[pick]
+    errs = []
+    for train, test in KFold(n_splits=n_splits, seed=seed).split(len(x)):
+        est = default_deviation_estimator()
+        est.fit(x[train], y[train])
+        pred = est.predict(x[test])
+        errs.append(mape(y[test] + offsets[test], pred + offsets[test]))
+    return float(np.mean(errs))

@@ -1,0 +1,248 @@
+"""Forecasting execution time of future steps (§IV-C, §V-C).
+
+The sliding-window formulation of the paper's Fig. 6: from the features of
+the last ``m`` steps, predict the *sum* of the execution times of the next
+``k`` steps.  Models are scored with MAPE under grouped cross-validation
+(whole runs held out, since steps within a run are correlated).
+
+Feature tiers reproduce the §V-C ablation:
+
+* ``app`` — the 13 AriesNCL counters of the job's own routers;
+* ``+ placement`` — NUM_ROUTERS, NUM_GROUPS;
+* ``+ io`` — LDMS counters of I/O routers;
+* ``+ sys`` — LDMS counters of all other routers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.campaign.datasets import RunDataset, RunRecord
+from repro.ml.attention import AttentionForecaster, permutation_importance
+from repro.ml.metrics import mape
+from repro.ml.model_selection import GroupKFold
+
+
+def build_windows(
+    features: np.ndarray, y: np.ndarray, m: int, k: int, align_m: int | None = None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sliding windows over every run (paper Fig. 6).
+
+    Parameters
+    ----------
+    features:
+        (N, T, H) per-step features.
+    y:
+        (N, T) per-step times.
+    m:
+        Temporal context length (history steps, inclusive of the current
+        step t_c).
+    k:
+        Forecast horizon; the target is ``sum(y[tc+1 : tc+1+k])``.
+    align_m:
+        When comparing several context lengths, pass the *largest* m here
+        so every model sees the same prediction instants (otherwise a
+        smaller m gets extra early-run training windows and the comparison
+        confounds context length with sample count).
+
+    Returns
+    -------
+    (x, targets, groups):
+        (n, m, H) windows, (n,) aggregate targets, (n,) run indices.
+    """
+    features = np.asarray(features, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    n, t, h = features.shape
+    if m < 1 or k < 1:
+        raise ValueError("m and k must be positive")
+    if align_m is not None and align_m < m:
+        raise ValueError("align_m must be >= m")
+    if (align_m or m) + k > t:
+        raise ValueError(f"window m={align_m or m} + horizon k={k} exceeds T={t}")
+    tcs = np.arange((align_m or m) - 1, t - k)
+    xs = []
+    ys = []
+    gs = []
+    for tc in tcs:
+        xs.append(features[:, tc - m + 1 : tc + 1, :])
+        ys.append(y[:, tc + 1 : tc + 1 + k].sum(axis=1))
+        gs.append(np.arange(n))
+    return (
+        np.concatenate(xs, axis=0),
+        np.concatenate(ys, axis=0),
+        np.concatenate(gs, axis=0),
+    )
+
+
+def default_forecaster(seed: int = 0) -> AttentionForecaster:
+    return AttentionForecaster(
+        d_model=24, hidden=48, lr=3e-3, epochs=220, batch_size=128, seed=seed
+    )
+
+
+@dataclass
+class ForecastResult:
+    """One cell of the Fig. 8 / Fig. 10 ablation grids."""
+
+    key: str
+    m: int
+    k: int
+    tier: str
+    mape: float
+    per_fold: list[float] = field(default_factory=list)
+
+
+#: Ablation tier name -> features() kwargs.
+TIERS: dict[str, dict[str, bool]] = {
+    "app": {},
+    "app+placement": {"placement": True},
+    "app+placement+io": {"placement": True, "io": True},
+    "app+placement+io+sys": {"placement": True, "io": True, "sys": True},
+}
+
+
+def forecast_mape(
+    ds: RunDataset,
+    m: int,
+    k: int,
+    tier: str = "app",
+    n_splits: int = 3,
+    seed: int = 0,
+    model_factory=default_forecaster,
+    align_m: int | None = None,
+) -> ForecastResult:
+    """Grouped-CV MAPE of the forecaster on one (m, k, tier) cell."""
+    if tier not in TIERS:
+        raise ValueError(f"unknown tier {tier!r}; expected one of {list(TIERS)}")
+    feats = ds.features(**TIERS[tier])
+    x, y, groups = build_windows(feats, ds.Y, m, k, align_m=align_m)
+    gkf = GroupKFold(n_splits=n_splits, seed=seed)
+    per_fold = []
+    for fold, (train, test) in enumerate(gkf.split(groups)):
+        model = model_factory(seed + fold)
+        model.fit(x[train], y[train])
+        per_fold.append(mape(y[test], model.predict(x[test])))
+    return ForecastResult(
+        key=ds.key,
+        m=m,
+        k=k,
+        tier=tier,
+        mape=float(np.mean(per_fold)),
+        per_fold=per_fold,
+    )
+
+
+def ablation_grid(
+    ds: RunDataset,
+    ms: list[int],
+    ks: list[int],
+    tiers: list[str],
+    n_splits: int = 3,
+    seed: int = 0,
+    model_factory=default_forecaster,
+) -> list[ForecastResult]:
+    """The full Fig. 8 / Fig. 10 grid for one dataset.
+
+    Context lengths are aligned (``align_m = max(ms)``) so every cell
+    predicts the same instants from the same number of samples.
+    """
+    out = []
+    align = max(ms)
+    for k in ks:
+        for m in ms:
+            for tier in tiers:
+                out.append(
+                    forecast_mape(
+                        ds,
+                        m,
+                        k,
+                        tier,
+                        n_splits=n_splits,
+                        seed=seed,
+                        model_factory=model_factory,
+                        align_m=align,
+                    )
+                )
+    return out
+
+
+def forecasting_feature_importances(
+    ds: RunDataset,
+    m: int,
+    k: int,
+    tier: str,
+    seed: int = 0,
+    model_factory=default_forecaster,
+) -> tuple[list[str], np.ndarray]:
+    """Fig. 11: permutation importances of the forecasting model.
+
+    Trained on all runs; importances are MAPE degradation when one feature
+    channel is shuffled (normalised to sum to 1).
+    """
+    feats = ds.features(**TIERS[tier])
+    names = ds.feature_names(**TIERS[tier])
+    x, y, _ = build_windows(feats, ds.Y, m, k)
+    model = model_factory(seed)
+    model.fit(x, y)
+    imp = permutation_importance(
+        model, x, y, metric=mape, rng=np.random.default_rng(seed)
+    )
+    s = imp.sum()
+    return names, imp / s if s > 0 else imp
+
+
+@dataclass
+class LongRunForecast:
+    """Fig. 12: observed vs predicted segment times of a long run."""
+
+    key: str
+    segment_steps: int
+    #: Step index at which each predicted segment starts.
+    segment_starts: np.ndarray
+    observed: np.ndarray
+    predicted: np.ndarray
+
+    @property
+    def mape(self) -> float:
+        return mape(self.observed, self.predicted)
+
+
+def long_run_forecast(
+    train_ds: RunDataset,
+    long_run: RunRecord,
+    m: int = 30,
+    k: int = 40,
+    tier: str = "app+placement+io+sys",
+    seed: int = 0,
+    model_factory=default_forecaster,
+) -> LongRunForecast:
+    """Train on the regular dataset, forecast an unseen long run (§V-C).
+
+    The long run is divided into ``k``-step segments; each segment's
+    aggregate time is predicted from the preceding ``m`` steps' features.
+    No data from the long run enters training (paper: "no data from this
+    run was included in training the model").
+    """
+    feats = train_ds.features(**TIERS[tier])
+    x, y, _ = build_windows(feats, train_ds.Y, m, k)
+    model = model_factory(seed)
+    model.fit(x, y)
+
+    # Long-run features in the same tier layout.
+    holder = RunDataset(key="long", runs=[long_run])
+    lf = holder.features(**TIERS[tier])[0]  # (T, H)
+    ly = long_run.step_times
+    t = len(ly)
+    starts = np.arange(m, t - k + 1, k)
+    windows = np.stack([lf[s - m : s, :] for s in starts])
+    observed = np.array([ly[s : s + k].sum() for s in starts])
+    predicted = model.predict(windows)
+    return LongRunForecast(
+        key=train_ds.key,
+        segment_steps=k,
+        segment_starts=starts,
+        observed=observed,
+        predicted=predicted,
+    )

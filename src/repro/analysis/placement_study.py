@@ -1,0 +1,138 @@
+"""Placement-policy study: what does fragmentation cost?
+
+The paper records NUM_ROUTERS / NUM_GROUPS because placement fragmentation
+is a suspected variability factor (§III-C), and its related work (Yang et
+al., SC'16) studies dragonfly placement directly.  This study sweeps the
+allocation policy for a probe job under fixed background pressure and
+reports the placement features alongside the resulting slowdowns —
+quantifying how much of the variability a placement-aware scheduler
+could remove.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.network.engine import CongestionEngine
+from repro.network.traffic import router_alltoall_flows, uniform_random_flows
+from repro.topology.dragonfly import DragonflyTopology
+from repro.topology.placement import AllocationPolicy, allocate, placement_features
+
+
+@dataclass
+class PlacementTrial:
+    """One (policy, seed) probe placement and its congestion outcome."""
+
+    policy: str
+    num_routers: int
+    num_groups: int
+    fabric_slowdown: float
+    endpoint_slowdown: float
+
+
+@dataclass
+class PlacementStudy:
+    """All trials, with per-policy aggregates."""
+
+    trials: list[PlacementTrial]
+
+    def by_policy(self) -> dict[str, dict[str, float]]:
+        out: dict[str, dict[str, float]] = {}
+        for policy in {t.policy for t in self.trials}:
+            rows = [t for t in self.trials if t.policy == policy]
+            out[policy] = {
+                "mean_fabric": float(np.mean([t.fabric_slowdown for t in rows])),
+                "mean_endpoint": float(
+                    np.mean([t.endpoint_slowdown for t in rows])
+                ),
+                "mean_groups": float(np.mean([t.num_groups for t in rows])),
+                "mean_routers": float(np.mean([t.num_routers for t in rows])),
+            }
+        return out
+
+    def fragmentation_cost(self) -> float:
+        """Mean fabric slowdown, random minus contiguous placement."""
+        agg = self.by_policy()
+        if "random" not in agg or "contiguous" not in agg:
+            return 0.0
+        return agg["random"]["mean_fabric"] - agg["contiguous"]["mean_fabric"]
+
+
+def placement_study(
+    topology: DragonflyTopology,
+    probe_nodes: int = 64,
+    probe_bytes: float = 30e9,
+    background_nodes: int = 256,
+    background_bytes_per_node: float = 6e8,
+    trials_per_policy: int = 5,
+    seed: int = 0,
+) -> PlacementStudy:
+    """Sweep allocation policies for a probe under fixed background.
+
+    The background is placed randomly once (a busy machine); each trial
+    re-places only the probe, so differences isolate the probe's own
+    placement quality.
+    """
+    engine = CongestionEngine(topology)
+    rng = np.random.default_rng(seed)
+    bg_nodes = allocate(
+        topology,
+        topology.compute_nodes,
+        min(background_nodes, len(topology.compute_nodes) - probe_nodes),
+        AllocationPolicy.RANDOM,
+        rng,
+    )
+    bg = engine.route(
+        uniform_random_flows(
+            topology, bg_nodes, background_bytes_per_node, rng, fanout=3
+        )
+    )
+    base = engine.solve([bg]).as_base()
+    free = np.setdiff1d(topology.compute_nodes, bg_nodes)
+
+    trials: list[PlacementTrial] = []
+    for policy in AllocationPolicy:
+        for t in range(trials_per_policy):
+            trial_rng = np.random.default_rng(seed * 1000 + t)
+            nodes = allocate(topology, free, probe_nodes, policy, trial_rng)
+            flows = router_alltoall_flows(topology, nodes, probe_bytes)
+            routed = engine.route(flows)
+            state = engine.solve([routed], base=base)
+            fabric, endpoint = state.metrics[0].volume_weighted(flows.volume)
+            feats = placement_features(topology, nodes)
+            trials.append(
+                PlacementTrial(
+                    policy=policy.value,
+                    num_routers=feats["NUM_ROUTERS"],
+                    num_groups=feats["NUM_GROUPS"],
+                    fabric_slowdown=fabric,
+                    endpoint_slowdown=endpoint,
+                )
+            )
+    return PlacementStudy(trials=trials)
+
+
+def render_placement_study(study: PlacementStudy) -> str:
+    from repro.experiments.report import ascii_table
+
+    agg = study.by_policy()
+    rows = [
+        [
+            policy,
+            f"{v['mean_routers']:.0f}",
+            f"{v['mean_groups']:.1f}",
+            f"{v['mean_fabric']:.3f}",
+            f"{v['mean_endpoint']:.3f}",
+        ]
+        for policy, v in sorted(agg.items())
+    ]
+    table = ascii_table(
+        ["policy", "routers", "groups", "fabric slowdown", "endpoint slowdown"],
+        rows,
+    )
+    return (
+        f"{table}\n\nfragmentation cost (random - contiguous, fabric): "
+        f"{study.fragmentation_cost():+.3f}"
+    )

@@ -1,0 +1,137 @@
+"""Congestion-aware scheduling what-if (the paper's §V-A implication).
+
+The paper closes its neighbourhood analysis with: *"A resource manager
+can use such historical data to delay scheduling jobs that are
+communication-sensitive when certain other jobs are already running on
+the system."*  This module quantifies that opportunity on the campaign
+data itself:
+
+1. identify the aggressor set from the Table III analysis (no ground
+   truth used);
+2. partition each dataset's runs by whether an identified aggressor was
+   in the neighbourhood;
+3. report the counterfactual saving if aggressor-overlapped runs had run
+   at the aggressor-free mean instead, net of an assumed queue-delay
+   overhead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.neighborhood import correlated_users_table
+from repro.campaign.datasets import Campaign, RunDataset
+
+
+@dataclass
+class WhatIfResult:
+    """Scheduling what-if for one dataset.
+
+    "Overlapped" runs had an above-median count of identified aggressors
+    in their neighbourhood; "clean" runs had at-or-below-median counts.
+    """
+
+    key: str
+    aggressors: list[str]
+    runs_overlapped: int
+    runs_clean: int
+    mean_time_overlapped: float
+    mean_time_clean: float
+    #: Fractional saving on overlapped runs if they ran at the clean mean.
+    saving_fraction: float
+    #: Net machine-time saving across the dataset after charging the
+    #: delay overhead against the saving.
+    net_saving_fraction: float
+    #: Pearson correlation of aggressor count with run total time.
+    aggressor_time_correlation: float = 0.0
+
+
+def scheduling_whatif(
+    campaign: Campaign,
+    dataset_keys: list[str] | None = None,
+    delay_overhead_fraction: float = 0.05,
+) -> list[WhatIfResult]:
+    """Estimate the §V-A scheduling opportunity per dataset.
+
+    Parameters
+    ----------
+    campaign:
+        The campaign to analyse.
+    dataset_keys:
+        Datasets to include (default: all regular datasets with runs).
+    delay_overhead_fraction:
+        Assumed cost of delaying a job until the aggressors drain,
+        expressed as a fraction of the run's clean execution time
+        (queueing is not free: the node-hours spent waiting are idle).
+    """
+    aggr_table = correlated_users_table(campaign)
+    aggressors = sorted({u for users in aggr_table.values() for u in users})
+    if dataset_keys is None:
+        dataset_keys = [k for k in campaign.keys() if "-long" not in k]
+    out: list[WhatIfResult] = []
+    for key in dataset_keys:
+        ds = campaign[key]
+        if len(ds) < 4:
+            continue
+        out.append(_whatif_one(ds, aggressors, delay_overhead_fraction))
+    return out
+
+
+def _whatif_one(
+    ds: RunDataset, aggressors: list[str], delay_overhead: float
+) -> WhatIfResult:
+    """Partition runs by aggressor *load* (count of identified aggressors
+    in the neighbourhood, above vs at-or-below the dataset median).
+
+    On a production-utilisation machine some aggressor is almost always
+    running, so a binary any-aggressor split is degenerate; what a
+    delay-aware scheduler can actually choose between is heavy and light
+    aggressor neighbourhoods.
+    """
+    agg = set(aggressors)
+    totals = ds.totals
+    counts = np.array(
+        [len(agg & set(r.neighborhood)) for r in ds.runs], dtype=np.int64
+    )
+    threshold = float(np.median(counts))
+    overlapped = counts > threshold
+    t_over = totals[overlapped]
+    t_clean = totals[~overlapped]
+    corr = 0.0
+    if counts.std() > 0 and totals.std() > 0:
+        corr = float(np.corrcoef(counts, totals)[0, 1])
+    if len(t_clean) == 0 or len(t_over) == 0:
+        # Degenerate partition: no counterfactual available.
+        return WhatIfResult(
+            key=ds.key,
+            aggressors=aggressors,
+            runs_overlapped=int(overlapped.sum()),
+            runs_clean=int((~overlapped).sum()),
+            mean_time_overlapped=float(t_over.mean()) if len(t_over) else 0.0,
+            mean_time_clean=float(t_clean.mean()) if len(t_clean) else 0.0,
+            saving_fraction=0.0,
+            net_saving_fraction=0.0,
+            aggressor_time_correlation=corr,
+        )
+    mean_over = float(t_over.mean())
+    mean_clean = float(t_clean.mean())
+    saving = max(0.0, (mean_over - mean_clean) / mean_over)
+    # Net over the whole dataset: overlapped runs save `saving` but pay the
+    # delay overhead (relative to clean time); clean runs are untouched.
+    total_time = float(totals.sum())
+    gross = saving * float(t_over.sum())
+    cost = delay_overhead * mean_clean * len(t_over)
+    net = max(0.0, gross - cost) / total_time
+    return WhatIfResult(
+        key=ds.key,
+        aggressors=aggressors,
+        runs_overlapped=int(overlapped.sum()),
+        runs_clean=int((~overlapped).sum()),
+        mean_time_overlapped=mean_over,
+        mean_time_clean=mean_clean,
+        saving_fraction=saving,
+        net_saving_fraction=net,
+        aggressor_time_correlation=corr,
+    )

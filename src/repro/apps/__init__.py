@@ -1,0 +1,23 @@
+"""Application models for the four paper workloads (paper §III-A/B).
+
+Each model derives its per-step communication from a first-principles
+kernel (domain decomposition, multigrid hierarchy, Louvain phase, KBA
+sweep) and exposes:
+
+* a mean time-per-step trend (Fig. 3 shapes),
+* a unit-intensity router-level flow geometry plus per-step intensity,
+* an MPI-routine mix (Fig. 4/5), and
+* sensitivity weights that split congestion exposure between endpoint
+  (processor-tile) and fabric (router-tile) pressure.
+"""
+
+from repro.apps.base import Application, StepModel
+from repro.apps.registry import APPLICATIONS, DATASET_KEYS, get_application
+
+__all__ = [
+    "Application",
+    "StepModel",
+    "APPLICATIONS",
+    "DATASET_KEYS",
+    "get_application",
+]

@@ -1,0 +1,178 @@
+"""Application model interface shared by AMG, MILC, miniVite and UMT.
+
+An :class:`Application` describes one (code, node count) configuration —
+one row of the paper's Table I, one dataset of the campaign.  It provides
+everything the campaign runner needs to execute a probe job on the
+simulated machine:
+
+* ``step_model()`` — the mean per-step compute/MPI time trend (the Fig. 3
+  shapes) and a per-step traffic-intensity multiplier;
+* ``flow_geometry()`` — the router-level flow set at unit intensity for a
+  given placement (routed once per run, rescaled per step);
+* ``routine_mix()`` — how MPI time splits across routines (Fig. 4/5);
+* congestion *sensitivities* — how much of the MPI time dilates with
+  endpoint (processor-tile) vs fabric (router-tile) pressure.  These are
+  physical characteristics (message size and synchronisation structure),
+  and they are what make the per-app counter rankings of Fig. 9 emerge
+  from the analysis instead of being baked into it.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.network.traffic import FlowSet
+from repro.topology.dragonfly import DragonflyTopology
+
+
+@dataclass
+class StepModel:
+    """Mean per-step behaviour of one application configuration."""
+
+    #: Mean compute seconds per step (T,).
+    compute: np.ndarray
+    #: Mean *uncongested* MPI seconds per step (T,).
+    mpi: np.ndarray
+    #: Traffic-intensity multiplier per step, applied to the unit
+    #: flow geometry (T,).  Normalised so the per-step mean is O(1).
+    intensity: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.compute = np.asarray(self.compute, dtype=np.float64)
+        self.mpi = np.asarray(self.mpi, dtype=np.float64)
+        self.intensity = np.asarray(self.intensity, dtype=np.float64)
+        if not (len(self.compute) == len(self.mpi) == len(self.intensity)):
+            raise ValueError("step model arrays must share a length")
+        if (self.compute < 0).any() or (self.mpi < 0).any():
+            raise ValueError("step times must be non-negative")
+
+    @property
+    def num_steps(self) -> int:
+        return len(self.mpi)
+
+    @property
+    def total_mean_time(self) -> float:
+        return float((self.compute + self.mpi).sum())
+
+    @property
+    def mpi_fraction(self) -> float:
+        """Fraction of total time spent in MPI at mean behaviour."""
+        tot = self.total_mean_time
+        return float(self.mpi.sum() / tot) if tot > 0 else 0.0
+
+
+class Application(abc.ABC):
+    """One (application, node count) configuration of the study."""
+
+    #: Code name as in Table I.
+    name: str = ""
+    #: Version string as in Table I.
+    version: str = ""
+    #: MPI ranks per node (64 of the KNL's 68 cores; paper §III-A).
+    ranks_per_node: int = 64
+
+    #: Fraction of MPI time that dilates with endpoint (NIC/processor-tile)
+    #: congestion — high for small-message / latency-bound codes.
+    endpoint_sensitivity: float = 0.4
+    #: Fraction of MPI time that dilates with fabric (router-tile)
+    #: congestion — high for bandwidth-bound codes.
+    fabric_sensitivity: float = 0.4
+    #: Lognormal sigma of intrinsic per-step workload variation (data-
+    #: dependent codes like miniVite have large values).
+    intensity_sigma: float = 0.03
+    #: Lognormal sigma of residual unexplained MPI-time noise.
+    residual_sigma: float = 0.04
+    #: Lognormal sigma of compute-time jitter (OS noise is minimal on the
+    #: paper's runs: cores were set aside for daemons).
+    compute_sigma: float = 0.01
+    #: Bytes/s of filesystem traffic the job itself generates.
+    io_bytes_per_sec: float = 0.0
+    #: Response-VC share of the app's endpoint traffic (latency-bound
+    #: request/response codes are higher).
+    response_ratio: float = 0.08
+    #: Exponent on the blended dilation.  1.0 for codes whose messages are
+    #: independent; >1 for dependency-chain codes (UMT's sweep wavefront
+    #: compounds per-hop delays, which is how a 30%-MPI code ends up 3.3x
+    #: slower end to end — paper §III-B).
+    dilation_exponent: float = 1.0
+
+    def __init__(self, num_nodes: int) -> None:
+        if num_nodes < 1:
+            raise ValueError("num_nodes must be positive")
+        self.num_nodes = num_nodes
+
+    # ------------------------------------------------------------------ #
+    # Abstract surface
+    # ------------------------------------------------------------------ #
+
+    @abc.abstractmethod
+    def step_model(self) -> StepModel:
+        """Mean per-step trend for this configuration."""
+
+    @abc.abstractmethod
+    def flow_geometry(
+        self, topology: DragonflyTopology, nodes: np.ndarray
+    ) -> FlowSet:
+        """Router-level flows (bytes/s) at unit intensity for a placement."""
+
+    @abc.abstractmethod
+    def routine_mix(self) -> dict[str, float]:
+        """MPI-time share per routine (sums to 1; Fig. 4/5)."""
+
+    @abc.abstractmethod
+    def input_summary(self) -> str:
+        """The Table I input-parameters string."""
+
+    # ------------------------------------------------------------------ #
+    # Shared behaviour
+    # ------------------------------------------------------------------ #
+
+    @property
+    def dataset_key(self) -> str:
+        """Dataset identifier, e.g. ``"AMG-512"``."""
+        return f"{self.name}-{self.num_nodes}"
+
+    @property
+    def num_ranks(self) -> int:
+        return self.num_nodes * self.ranks_per_node
+
+    @property
+    def num_steps(self) -> int:
+        return self.step_model().num_steps
+
+    def table1_row(self) -> tuple[str, str, int, str]:
+        """(application, version, nodes, input parameters) — Table I."""
+        return (self.name, self.version, self.num_nodes, self.input_summary())
+
+    def blended_slowdown(
+        self, fabric_slowdown: float, endpoint_slowdown: float
+    ) -> float:
+        """MPI-time dilation from the two congestion channels.
+
+        The insensitive remainder of MPI time (synchronisation already
+        overlapped, on-node transfers) does not dilate.  The dilation
+        exponent compounds delays for dependency-chain codes.
+        """
+        base = (
+            1.0
+            + self.fabric_sensitivity * (fabric_slowdown - 1.0)
+            + self.endpoint_sensitivity * (endpoint_slowdown - 1.0)
+        )
+        return float(base**self.dilation_exponent)
+
+    def validate(self) -> None:
+        """Internal consistency checks (used by tests and the registry)."""
+        sm = self.step_model()
+        if sm.num_steps < 1:
+            raise ValueError(f"{self.dataset_key}: no steps")
+        if self.endpoint_sensitivity + self.fabric_sensitivity > 1.0 + 1e-9:
+            raise ValueError(f"{self.dataset_key}: sensitivities exceed 1")
+        mix = self.routine_mix()
+        if abs(sum(mix.values()) - 1.0) > 1e-6:
+            raise ValueError(f"{self.dataset_key}: routine mix must sum to 1")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.dataset_key}>"

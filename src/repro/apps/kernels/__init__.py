@@ -1,0 +1,14 @@
+"""Executable communication kernels behind the application models."""
+
+from repro.apps.kernels.halo import halo_surface_bytes
+from repro.apps.kernels.louvain import LouvainPhaseResult, run_louvain_phase
+from repro.apps.kernels.multigrid import MultigridHierarchy
+from repro.apps.kernels.sweep import SweepSchedule
+
+__all__ = [
+    "halo_surface_bytes",
+    "MultigridHierarchy",
+    "run_louvain_phase",
+    "LouvainPhaseResult",
+    "SweepSchedule",
+]

@@ -1,0 +1,130 @@
+"""Algebraic-multigrid communication model (the AMG proxy app substrate).
+
+AMG solves a linear system with AMG-preconditioned GMRES on a 3-D problem
+(paper Table I: ``-problem 2``, 32^3 points per process).  Communication
+per solve step is dominated by
+
+* halo exchanges on every level of the multigrid hierarchy — message sizes
+  *shrink* geometrically with level while neighbour counts *grow* (coarse
+  stencils widen), which is why AMG sends "a large number of small-sized
+  messages" (paper §III-B), and
+* latency-bound ``MPI_Allreduce`` calls from GMRES orthogonalisation.
+
+:class:`MultigridHierarchy` builds the level structure from the actual
+process grid and per-rank problem size, so message counts/sizes respond to
+the configuration instead of being constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.apps.kernels.halo import halo_surface_bytes
+
+
+@dataclass(frozen=True)
+class MultigridLevel:
+    """One level of the AMG hierarchy (level 0 = finest)."""
+
+    index: int
+    local_shape: tuple[int, int, int]
+    #: Face neighbours exchanged with on this level (stencil growth widens
+    #: this towards 26 on coarse levels).
+    neighbors: int
+    #: Bytes per neighbour per halo exchange.
+    bytes_per_neighbor: float
+    #: Halo exchanges per V-cycle visit (pre+post smoothing + residual).
+    exchanges_per_cycle: int
+
+
+@dataclass
+class MultigridHierarchy:
+    """The level structure plus per-step aggregate communication."""
+
+    process_grid: tuple[int, int, int]
+    fine_local_shape: tuple[int, int, int]
+    levels: list[MultigridLevel] = field(default_factory=list)
+    #: GMRES iterations per time step (each costs 2 allreduces).
+    gmres_iterations: int = 10
+
+    @classmethod
+    def from_problem(
+        cls,
+        process_grid: tuple[int, int, int],
+        local_shape: tuple[int, int, int] = (32, 32, 32),
+        bytes_per_site: float = 8.0,
+        coarsening: int = 2,
+        min_local: int = 2,
+        gmres_iterations: int = 10,
+    ) -> "MultigridHierarchy":
+        """Build the hierarchy by repeated coarsening of the local grid.
+
+        Coarsening stops when the local block would drop below
+        ``min_local`` sites per dimension (hypre then agglomerates onto
+        fewer ranks; we stop the distributed phase there, which is where
+        the network traffic lives).
+        """
+        if len(process_grid) != 3 or len(local_shape) != 3:
+            raise ValueError("process_grid and local_shape must be 3-D")
+        if any(p < 1 for p in process_grid) or any(s < 1 for s in local_shape):
+            raise ValueError("grid dimensions must be positive")
+        hier = cls(
+            process_grid=tuple(process_grid),
+            fine_local_shape=tuple(local_shape),
+            gmres_iterations=gmres_iterations,
+        )
+        shape = np.asarray(local_shape, dtype=np.int64)
+        level = 0
+        while (shape >= min_local).all():
+            surf = halo_surface_bytes(tuple(int(s) for s in shape), bytes_per_site)
+            # Stencil width grows with coarsening: 6 face neighbours on the
+            # finest level towards the full 26-point neighbourhood.
+            neighbors = min(6 + 4 * level, 26)
+            hier.levels.append(
+                MultigridLevel(
+                    index=level,
+                    local_shape=tuple(int(s) for s in shape),
+                    neighbors=neighbors,
+                    bytes_per_neighbor=float(surf.mean()),
+                    exchanges_per_cycle=3,
+                )
+            )
+            shape = np.maximum(shape // coarsening, 1)
+            level += 1
+            if level > 20:  # pragma: no cover - safety net
+                break
+        if not hier.levels:
+            raise ValueError("local_shape too small to build any level")
+        return hier
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def num_levels(self) -> int:
+        return len(self.levels)
+
+    def bytes_per_rank_per_step(self) -> float:
+        """Halo bytes each rank sends per solver step (one V-cycle)."""
+        return float(
+            sum(
+                lv.neighbors * lv.bytes_per_neighbor * lv.exchanges_per_cycle
+                for lv in self.levels
+            )
+        )
+
+    def messages_per_rank_per_step(self) -> int:
+        """Point-to-point messages each rank sends per step."""
+        return int(
+            sum(lv.neighbors * lv.exchanges_per_cycle for lv in self.levels)
+        )
+
+    def mean_message_bytes(self) -> float:
+        """Average message size — small, by multigrid's nature."""
+        msgs = self.messages_per_rank_per_step()
+        return self.bytes_per_rank_per_step() / msgs if msgs else 0.0
+
+    def allreduces_per_step(self) -> int:
+        """Collective count per step: 2 per GMRES iteration + AMG setup."""
+        return 2 * self.gmres_iterations + self.num_levels

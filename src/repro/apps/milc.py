@@ -1,0 +1,122 @@
+"""MILC (su3_rmd): lattice QCD 4-D stencil code (paper Table I, §III-B).
+
+Configuration facts from the paper:
+
+* 128 nodes (``n128_large.in``) and 512 nodes (``n512_large.in``); 4-D
+  stencil on a 4x4x4x4 per-process lattice.
+* 80 time steps: the first 20 are fast "warmup" trajectories, the next 60
+  are slower; steps are shorter than AMG's.
+* Sends *large point-to-point messages*; ~89% of time in MPI; dominant
+  routines: Allreduce, Wait, Isend, Irecv.
+* Bandwidth-bound: the router-tile stall counter RT_RB_STL is the top
+  deviation predictor, and system-wide I/O traffic (IO_PT_FLIT_TOT) is
+  the top *forecasting* feature (paper §V-C).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import Application, StepModel
+from repro.apps.kernels.halo import halo_surface_bytes
+from repro.network.traffic import FlowSet, allreduce_flows, halo_flows
+from repro.topology.dragonfly import DragonflyTopology
+
+#: CG solver iterations per trajectory step (warmup runs fewer).
+CG_ITERS_REGULAR = 450
+CG_ITERS_WARMUP = 110
+
+#: Bytes per lattice site crossing a face (SU(3) gauge links + spinors).
+BYTES_PER_SITE = 96.0
+
+#: Warmup trajectories at the start of every run (paper §III-B).
+WARMUP_STEPS = 20
+REGULAR_STEPS = 60
+
+
+class MILC(Application):
+    """MILC su3_rmd at 128 or 512 nodes."""
+
+    name = "MILC"
+    version = "7.8.0"
+    intensity_sigma = 0.05
+    residual_sigma = 0.03
+    response_ratio = 0.05  # streaming large messages
+    endpoint_sensitivity = 0.20
+    fabric_sensitivity = 0.62
+
+    def __init__(self, num_nodes: int) -> None:
+        super().__init__(num_nodes)
+        if num_nodes == 128:
+            self.process_grid = (16, 16, 8, 4)  # 8,192 ranks
+            self._regular_step = 7.2
+            self._warmup_step = 1.8
+        elif num_nodes == 512:
+            self.process_grid = (16, 16, 16, 8)  # 32,768 ranks
+            self._regular_step = 8.5
+            self._warmup_step = 2.2
+        else:
+            raise ValueError("MILC ran on 128 or 512 nodes in the study")
+        self.local_lattice = (4, 4, 4, 4)
+
+    # ------------------------------------------------------------------ #
+
+    def input_summary(self) -> str:
+        return f"n{self.num_nodes}_large.in"
+
+    def step_model(self) -> StepModel:
+        mpi_frac = 0.89
+        total = np.concatenate(
+            [
+                np.full(WARMUP_STEPS, self._warmup_step),
+                np.full(REGULAR_STEPS, self._regular_step),
+            ]
+        )
+        # Mild ramp within the regular phase (trajectory acceptance tuning).
+        total[WARMUP_STEPS:] *= 1.0 + 0.04 * np.linspace(0, 1, REGULAR_STEPS)
+        mpi = total * mpi_frac
+        compute = total * (1.0 - mpi_frac)
+        # Traffic scales with CG iterations: warmup steps move less data.
+        iters = np.concatenate(
+            [
+                np.full(WARMUP_STEPS, CG_ITERS_WARMUP, dtype=float),
+                np.full(REGULAR_STEPS, CG_ITERS_REGULAR, dtype=float),
+            ]
+        )
+        # Intensity multiplies a *rate*; a warmup step is shorter too, so
+        # rate ~ volume/time.
+        rate = iters / total
+        intensity = rate / rate.mean()
+        return StepModel(compute=compute, mpi=mpi, intensity=intensity)
+
+    def flow_geometry(
+        self, topology: DragonflyTopology, nodes: np.ndarray
+    ) -> FlowSet:
+        sm = self.step_model()
+        mean_step = float((sm.compute + sm.mpi).mean())
+        mean_iters = (
+            WARMUP_STEPS * CG_ITERS_WARMUP + REGULAR_STEPS * CG_ITERS_REGULAR
+        ) / (WARMUP_STEPS + REGULAR_STEPS)
+        per_dim = halo_surface_bytes(self.local_lattice, BYTES_PER_SITE)
+        bytes_per_neighbor_rate = float(per_dim.mean()) * mean_iters / mean_step
+        halo = halo_flows(
+            topology,
+            nodes,
+            self.process_grid,
+            bytes_per_neighbor=bytes_per_neighbor_rate,
+            ranks_per_node=self.ranks_per_node,
+            response_ratio=self.response_ratio,
+        )
+        # 2 allreduces per CG iteration (residual norms), 8 bytes each.
+        ar_bytes = 2 * mean_iters * 8.0 * self.ranks_per_node / mean_step
+        ar = allreduce_flows(topology, nodes, bytes_per_node=ar_bytes)
+        return FlowSet.concat([halo, ar])
+
+    def routine_mix(self) -> dict[str, float]:
+        return {
+            "Allreduce": 0.27,
+            "Wait": 0.30,
+            "Isend": 0.19,
+            "Irecv": 0.18,
+            "Other": 0.06,
+        }

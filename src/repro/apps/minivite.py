@@ -1,0 +1,129 @@
+"""miniVite: distributed Louvain community detection (Table I, §III-B).
+
+Configuration facts from the paper:
+
+* 128 nodes, graph ``nlpkkt240`` (~28M vertices, ~373M edges), arguments
+  ``-f nlpkkt240.bin -t 1E-02 -i 6``.
+* The authors wrapped the phase in an outer loop: each of the 6 recorded
+  "time steps" is one full Louvain phase over the same graph.
+* >98% of time in MPI, almost all of it in ``Waitall``; the slowest run
+  was 3.76x the best — the largest spread in the study.
+* Deviation predictors are *flit* counters (PT_FLIT_VC0, RT_FLIT_TOT):
+  the irregular, data-dependent exchange makes its own traffic volume the
+  main driver of step time.
+
+The model executes a real Louvain phase on a synthetic stand-in graph
+(:mod:`repro.apps.kernels.louvain`) and rescales its measured cross-
+partition traffic to nlpkkt240's edge count.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.apps.base import Application, StepModel
+from repro.apps.kernels.louvain import (
+    LouvainPhaseResult,
+    run_louvain_phase,
+    synthetic_kkt_graph,
+)
+from repro.network.traffic import FlowSet, router_alltoall_flows
+from repro.topology.dragonfly import DragonflyTopology
+
+#: Stand-in graph size (vertices; rounded to a cube internally).
+KERNEL_VERTICES = 4096
+
+#: Partitions used for the kernel's traffic accounting.
+KERNEL_PARTITIONS = 64
+
+#: Outer-loop repetitions = recorded time steps (paper: ``-i 6`` wrapper).
+NUM_STEPS = 6
+
+#: Traffic amplification: ghost-vertex payloads, degree lists and MPI
+#: packing overhead beyond the bare 24-byte updates the kernel counts.
+TRAFFIC_SCALE = 6.0
+
+
+@lru_cache(maxsize=4)
+def _cached_phase(vertices: int, partitions: int) -> LouvainPhaseResult:
+    rng = np.random.default_rng(1_234_567)
+    adj = synthetic_kkt_graph(vertices, rng=rng)
+    return run_louvain_phase(adj, partitions, rng=rng)
+
+
+class MiniVite(Application):
+    """miniVite at 128 nodes."""
+
+    name = "miniVite"
+    version = "1.0"
+    # Convergence is data/order dependent: large intrinsic variation, which
+    # is what makes flit counters its best deviation predictors.
+    intensity_sigma = 0.22
+    residual_sigma = 0.05
+    response_ratio = 0.10
+    endpoint_sensitivity = 0.30
+    fabric_sensitivity = 0.35
+
+    def __init__(self, num_nodes: int = 128) -> None:
+        super().__init__(num_nodes)
+        if num_nodes != 128:
+            raise ValueError("miniVite ran on 128 nodes in the study")
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def phase(self) -> LouvainPhaseResult:
+        """The executed Louvain phase backing this model (cached)."""
+        return _cached_phase(KERNEL_VERTICES, KERNEL_PARTITIONS)
+
+    def input_summary(self) -> str:
+        return "-f nlpkkt240.bin -t 1E-02 -i 6"
+
+    def step_model(self) -> StepModel:
+        mpi_frac = 0.98
+        # Each step repeats the same phase; the first pays graph
+        # (re)distribution and cold caches.
+        total = np.full(NUM_STEPS, 170.0)
+        total[0] *= 1.15
+        mpi = total * mpi_frac
+        compute = total * (1.0 - mpi_frac)
+        intensity = np.ones(NUM_STEPS)
+        intensity[0] = 1.15
+        intensity /= intensity.mean()
+        return StepModel(compute=compute, mpi=mpi, intensity=intensity)
+
+    def flow_geometry(
+        self, topology: DragonflyTopology, nodes: np.ndarray
+    ) -> FlowSet:
+        phase = self.phase
+        sm = self.step_model()
+        mean_step = float((sm.compute + sm.mpi).mean())
+        phase_bytes = (
+            float(phase.iteration_volumes().sum())
+            * phase.scale_to_graph()
+            * TRAFFIC_SCALE
+        )
+        rate = phase_bytes / mean_step
+        # Map the kernel's per-partition traffic skew onto the job's
+        # routers (partitions are block-distributed over ranks/routers).
+        routers = np.unique(topology.node_router(np.asarray(nodes)))
+        pw = phase.partition_weights()
+        idx = (np.arange(len(routers)) * len(pw)) // max(len(routers), 1)
+        weights = pw[np.minimum(idx, len(pw) - 1)] + 1e-12
+        return router_alltoall_flows(
+            topology,
+            nodes,
+            total_bytes=rate,
+            response_ratio=self.response_ratio,
+            weights=weights,
+        )
+
+    def routine_mix(self) -> dict[str, float]:
+        return {
+            "Waitall": 0.82,
+            "Irecv": 0.07,
+            "Isend": 0.05,
+            "Other": 0.06,
+        }

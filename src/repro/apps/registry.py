@@ -1,0 +1,46 @@
+"""Registry of the six study configurations (paper Table I rows).
+
+The campaign treats each (application, node count) pair as an independent
+dataset with 175–225 runs (paper §III-A).
+"""
+
+from __future__ import annotations
+
+from repro.apps.amg import AMG
+from repro.apps.base import Application
+from repro.apps.milc import MILC
+from repro.apps.minivite import MiniVite
+from repro.apps.umt import UMT
+
+#: Dataset keys in Table I order.
+DATASET_KEYS: list[str] = [
+    "AMG-128",
+    "AMG-512",
+    "MILC-128",
+    "MILC-512",
+    "miniVite-128",
+    "UMT-128",
+]
+
+_FACTORIES = {
+    "AMG-128": lambda: AMG(128),
+    "AMG-512": lambda: AMG(512),
+    "MILC-128": lambda: MILC(128),
+    "MILC-512": lambda: MILC(512),
+    "miniVite-128": lambda: MiniVite(128),
+    "UMT-128": lambda: UMT(128),
+}
+
+#: Lazily built singleton applications keyed by dataset key.
+APPLICATIONS: dict[str, Application] = {}
+
+
+def get_application(key: str) -> Application:
+    """The application model for a dataset key (singletons, validated)."""
+    if key not in _FACTORIES:
+        raise KeyError(f"unknown dataset {key!r}; expected one of {DATASET_KEYS}")
+    if key not in APPLICATIONS:
+        app = _FACTORIES[key]()
+        app.validate()
+        APPLICATIONS[key] = app
+    return APPLICATIONS[key]

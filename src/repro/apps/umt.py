@@ -1,0 +1,105 @@
+"""UMT: deterministic S_n radiation transport (paper Table I, §III-B).
+
+Configuration facts from the paper:
+
+* 128 nodes, input ``custom_8k.cmg 4 2 4 4 4 0.04``; 7 time steps.
+* The *smallest* MPI fraction of the four codes (~30%) yet among the
+  highest variability (3.3x worst/best): sweep dependencies serialise
+  ranks, so latency inflation anywhere on the wavefront path stalls
+  everything downstream.
+* Dominant MPI routines: Allreduce, Barrier, Wait.
+* Top deviation predictor: PT_RB_STL_RQ — endpoint request-channel
+  stalls, i.e. delayed face messages.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import Application, StepModel
+from repro.apps.kernels.sweep import SweepSchedule
+from repro.network.traffic import FlowSet, allreduce_flows, halo_flows
+from repro.topology.dragonfly import DragonflyTopology
+
+#: Sweep passes per time step (non-linear temperature iterations).
+SWEEPS_PER_STEP = 4
+
+#: Traffic amplification over bare angular-flux payloads (mesh metadata,
+#: per-angle packing, control messages).
+TRAFFIC_SCALE = 4.0
+
+NUM_STEPS = 7
+
+
+class UMT(Application):
+    """UMT 2.0 at 128 nodes."""
+
+    name = "UMT"
+    version = "2.0"
+    intensity_sigma = 0.04
+    residual_sigma = 0.05
+    response_ratio = 0.30  # sweep handshakes: heavy request/response
+    endpoint_sensitivity = 0.68
+    fabric_sensitivity = 0.10
+    dilation_exponent = 1.7  # sweep wavefront compounds per-hop delays
+
+    def __init__(self, num_nodes: int = 128) -> None:
+        super().__init__(num_nodes)
+        if num_nodes != 128:
+            raise ValueError("UMT ran on 128 nodes in the study")
+        self.process_grid = (32, 16, 16)  # 8,192 ranks
+        self.schedule = SweepSchedule(
+            process_grid=self.process_grid,
+            local_zones=(8, 8, 8),
+            angles_per_octant=32,
+            energy_groups=16,
+        )
+
+    # ------------------------------------------------------------------ #
+
+    def input_summary(self) -> str:
+        return "custom_8k.cmg 4 2 4 4 4 0.04"
+
+    def step_model(self) -> StepModel:
+        mpi_frac = 0.30
+        steps = np.arange(NUM_STEPS)
+        # Slight ramp as the radiation field develops and iteration counts
+        # settle (Fig. 3 right).
+        total = 62.0 * (1.0 + 0.06 * steps / max(NUM_STEPS - 1, 1))
+        mpi = total * mpi_frac
+        compute = total * (1.0 - mpi_frac)
+        intensity = mpi / mpi.mean()
+        return StepModel(compute=compute, mpi=mpi, intensity=intensity)
+
+    def flow_geometry(
+        self, topology: DragonflyTopology, nodes: np.ndarray
+    ) -> FlowSet:
+        sm = self.step_model()
+        mean_step = float((sm.compute + sm.mpi).mean())
+        bytes_per_rank = (
+            self.schedule.bytes_per_rank_per_step() * SWEEPS_PER_STEP * TRAFFIC_SCALE
+        )
+        per_neighbor_rate = bytes_per_rank / 6.0 / mean_step
+        # Sweep faces follow the 3-D decomposition's neighbour structure.
+        halo = halo_flows(
+            topology,
+            nodes,
+            self.process_grid,
+            bytes_per_neighbor=per_neighbor_rate,
+            ranks_per_node=self.ranks_per_node,
+            periodic=False,
+            response_ratio=self.response_ratio,
+        )
+        # Allreduce + barrier per sweep pass.
+        ar_bytes = SWEEPS_PER_STEP * 2 * 8.0 * self.ranks_per_node / mean_step
+        ar = allreduce_flows(topology, nodes, bytes_per_node=ar_bytes)
+        return FlowSet.concat([halo, ar])
+
+    def routine_mix(self) -> dict[str, float]:
+        return {
+            "Wait": 0.33,
+            "Barrier": 0.24,
+            "Allreduce": 0.31,
+            "Waitall": 0.08,
+            "Other": 0.04,
+        }

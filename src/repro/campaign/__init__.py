@@ -1,0 +1,20 @@
+"""The measurement campaign: probe runs over four months (paper §III).
+
+:class:`~repro.campaign.runner.CampaignRunner` submits 1–2 jobs per
+application per day into the simulated production queue, executes each
+probe run step by step against the evolving background traffic, and
+collects the paper's six datasets (execution times, Aries counters, LDMS
+io/sys aggregates, placements, neighbourhoods).
+"""
+
+from repro.campaign.datasets import Campaign, RunDataset, RunRecord
+from repro.campaign.runner import CampaignConfig, CampaignRunner, run_campaign
+
+__all__ = [
+    "Campaign",
+    "RunDataset",
+    "RunRecord",
+    "CampaignConfig",
+    "CampaignRunner",
+    "run_campaign",
+]

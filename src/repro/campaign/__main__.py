@@ -1,0 +1,55 @@
+"""CLI: ``python -m repro.campaign [--fast] [--regenerate]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.campaign.inspect import render_summary, summarize_campaign
+from repro.campaign.runner import CampaignConfig, run_campaign
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.campaign",
+        description="Generate (or load) the measurement campaign and "
+        "print per-dataset summary statistics.",
+    )
+    parser.add_argument(
+        "--fast", action="store_true", help="test-scale campaign"
+    )
+    parser.add_argument(
+        "--regenerate",
+        action="store_true",
+        help="ignore the disk cache and rebuild from scratch",
+    )
+    parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="run the data-contract checks on every dataset",
+    )
+    args = parser.parse_args(argv)
+    cfg = CampaignConfig.tiny() if args.fast else CampaignConfig.small()
+    if args.regenerate:
+        import dataclasses
+
+        cfg = dataclasses.replace(cfg, use_cache=False)
+    campaign = run_campaign(cfg, progress=True)
+    print(f"campaign fingerprint: {cfg.fingerprint()}")
+    print(render_summary(summarize_campaign(campaign)))
+    print(f"ground-truth aggressors: {campaign.ground_truth_aggressors}")
+    if args.validate:
+        from repro.campaign.validate import validate_campaign
+
+        reports = validate_campaign(campaign)
+        bad = {k: r for k, r in reports.items() if not r.ok}
+        if bad:
+            for key, rep in bad.items():
+                print(f"INVALID {key}: {', '.join(rep.failed())}")
+            return 1
+        print(f"all {len(reports)} datasets pass the data contract")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,272 @@
+"""Campaign datasets: the paper's X (N x T x H) and Y (N x T) matrices.
+
+Each (application, node count) pair is an independent dataset of N runs
+with T time steps and H recorded features per step (paper §IV-B).  Beyond
+the 13 AriesNCL counters, every run carries its LDMS io/sys aggregates,
+placement features, neighbourhood user list, and mpiP routine breakdown —
+everything the three analyses consume.
+
+Datasets cache to ``.npz`` + JSON under ``REPRO_CACHE_DIR`` (default
+``./.repro_cache``) keyed by the campaign-config fingerprint, so figures
+and benchmarks share one generation pass.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+import numpy as np
+
+from repro.network.counters import (
+    APP_COUNTERS,
+    IO_COUNTERS,
+    PLACEMENT_FEATURES,
+    SYS_COUNTERS,
+)
+
+#: Campaign epoch: the first date on Fig. 1's time axis.
+EPOCH = _dt.datetime(2018, 11, 29)
+
+#: LDMS feature order as stored in the dataset arrays.
+LDMS_FEATURES: list[str] = IO_COUNTERS + SYS_COUNTERS
+
+
+def seconds_to_date(t: float) -> _dt.datetime:
+    """Campaign seconds -> calendar timestamp (Fig. 1 axis)."""
+    return EPOCH + _dt.timedelta(seconds=float(t))
+
+
+@dataclass
+class RunRecord:
+    """One probe run: everything recorded for it."""
+
+    run_index: int
+    start_time: float
+    #: Realised wall time per step (T,).
+    step_times: np.ndarray
+    #: Compute / MPI split per step (T,), (T,).
+    compute_times: np.ndarray
+    mpi_times: np.ndarray
+    #: AriesNCL counters per step (T, 13) in APP_COUNTERS order.
+    counters: np.ndarray
+    #: LDMS io/sys aggregates per step (T, 8) in LDMS_FEATURES order.
+    ldms: np.ndarray
+    #: NUM_ROUTERS, NUM_GROUPS.
+    num_routers: int
+    num_groups: int
+    #: Users with large jobs overlapping this run (anonymised ids).
+    neighborhood: list[str]
+    #: mpiP routine breakdown for the whole run.
+    routine_times: dict[str, float]
+
+    @property
+    def total_time(self) -> float:
+        return float(self.step_times.sum())
+
+    @property
+    def date(self) -> _dt.datetime:
+        return seconds_to_date(self.start_time)
+
+
+@dataclass
+class RunDataset:
+    """One of the six campaign datasets."""
+
+    key: str
+    runs: list[RunRecord] = field(default_factory=list)
+
+    # ---- basic shape ---------------------------------------------------- #
+
+    def __len__(self) -> int:
+        return len(self.runs)
+
+    @property
+    def num_steps(self) -> int:
+        return int(self.runs[0].step_times.shape[0]) if self.runs else 0
+
+    # ---- assembled arrays ------------------------------------------------ #
+
+    @property
+    def Y(self) -> np.ndarray:
+        """(N, T) per-step execution times."""
+        return np.stack([r.step_times for r in self.runs])
+
+    @property
+    def X(self) -> np.ndarray:
+        """(N, T, 13) AriesNCL counters."""
+        return np.stack([r.counters for r in self.runs])
+
+    @property
+    def ldms(self) -> np.ndarray:
+        """(N, T, 8) io/sys counters."""
+        return np.stack([r.ldms for r in self.runs])
+
+    @property
+    def placement(self) -> np.ndarray:
+        """(N, 2): NUM_ROUTERS, NUM_GROUPS."""
+        return np.array(
+            [[r.num_routers, r.num_groups] for r in self.runs], dtype=np.float64
+        )
+
+    @property
+    def totals(self) -> np.ndarray:
+        """(N,) total run times."""
+        return np.array([r.total_time for r in self.runs])
+
+    @property
+    def start_times(self) -> np.ndarray:
+        return np.array([r.start_time for r in self.runs])
+
+    def feature_names(
+        self, placement: bool = False, io: bool = False, sys: bool = False
+    ) -> list[str]:
+        names = list(APP_COUNTERS)
+        if placement:
+            names += PLACEMENT_FEATURES
+        if io:
+            names += IO_COUNTERS
+        if sys:
+            names += SYS_COUNTERS
+        return names
+
+    def features(
+        self, placement: bool = False, io: bool = False, sys: bool = False
+    ) -> np.ndarray:
+        """(N, T, H') feature tensor for a forecasting ablation tier."""
+        parts = [self.X]
+        if placement:
+            pl = self.placement  # (N, 2), constant over steps
+            parts.append(np.repeat(pl[:, None, :], self.num_steps, axis=1))
+        ld = self.ldms
+        if io:
+            parts.append(ld[:, :, : len(IO_COUNTERS)])
+        if sys:
+            parts.append(ld[:, :, len(IO_COUNTERS) :])
+        return np.concatenate(parts, axis=2)
+
+    # ---- paper §IV-B: mean-centering ------------------------------------- #
+
+    def mean_trends(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-step means over runs: (T, 13) counters, (T,) times (Fig. 7)."""
+        return self.X.mean(axis=0), self.Y.mean(axis=0)
+
+    def mean_centered(self) -> tuple[np.ndarray, np.ndarray]:
+        """X̂, Ŷ with per-step mean trends removed (paper §IV-B)."""
+        xm, ym = self.mean_trends()
+        return self.X - xm[None, :, :], self.Y - ym[None, :]
+
+    # ---- optimality labels (paper §IV-A) ---------------------------------- #
+
+    def optimality(self, tau: float = 1.0) -> np.ndarray:
+        """Binary vector p: run r is optimal iff t_r < tau * mean(t)."""
+        totals = self.totals
+        return (totals < tau * totals.mean()).astype(np.int8)
+
+    def relative_performance(self) -> np.ndarray:
+        """Per-run total time relative to the best run (Fig. 1 y-axis)."""
+        totals = self.totals
+        return totals / totals.min()
+
+    # ---- serialisation ----------------------------------------------------- #
+
+    def save(self, path: Path) -> None:
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        np.savez_compressed(
+            path.with_suffix(".npz"),
+            step_times=self.Y,
+            compute_times=np.stack([r.compute_times for r in self.runs]),
+            mpi_times=np.stack([r.mpi_times for r in self.runs]),
+            counters=self.X,
+            ldms=self.ldms,
+            placement=self.placement,
+            start_times=self.start_times,
+        )
+        meta = {
+            "key": self.key,
+            "neighborhoods": [r.neighborhood for r in self.runs],
+            "routine_times": [r.routine_times for r in self.runs],
+        }
+        path.with_suffix(".json").write_text(json.dumps(meta))
+
+    @classmethod
+    def load(cls, path: Path) -> "RunDataset":
+        path = Path(path)
+        arrays = np.load(path.with_suffix(".npz"))
+        meta = json.loads(path.with_suffix(".json").read_text())
+        runs = []
+        n = arrays["step_times"].shape[0]
+        for i in range(n):
+            runs.append(
+                RunRecord(
+                    run_index=i,
+                    start_time=float(arrays["start_times"][i]),
+                    step_times=arrays["step_times"][i],
+                    compute_times=arrays["compute_times"][i],
+                    mpi_times=arrays["mpi_times"][i],
+                    counters=arrays["counters"][i],
+                    ldms=arrays["ldms"][i],
+                    num_routers=int(arrays["placement"][i, 0]),
+                    num_groups=int(arrays["placement"][i, 1]),
+                    neighborhood=meta["neighborhoods"][i],
+                    routine_times=meta["routine_times"][i],
+                )
+            )
+        return cls(key=meta["key"], runs=runs)
+
+
+@dataclass
+class Campaign:
+    """All datasets from one campaign plus shared context."""
+
+    datasets: dict[str, RunDataset]
+    #: Anonymised ground-truth aggressor users (for evaluation only; the
+    #: analyses never see this).
+    ground_truth_aggressors: list[str] = field(default_factory=list)
+
+    def __getitem__(self, key: str) -> RunDataset:
+        return self.datasets[key]
+
+    def keys(self) -> list[str]:
+        return list(self.datasets)
+
+    # ---- cache ------------------------------------------------------------ #
+
+    @staticmethod
+    def cache_dir() -> Path:
+        return Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
+
+    def save(self, fingerprint: str) -> Path:
+        root = self.cache_dir() / fingerprint
+        root.mkdir(parents=True, exist_ok=True)
+        for key, ds in self.datasets.items():
+            ds.save(root / key)
+        (root / "campaign.json").write_text(
+            json.dumps(
+                {
+                    "keys": list(self.datasets),
+                    "ground_truth_aggressors": self.ground_truth_aggressors,
+                }
+            )
+        )
+        return root
+
+    @classmethod
+    def load(cls, fingerprint: str) -> "Campaign | None":
+        root = cls.cache_dir() / fingerprint
+        manifest = root / "campaign.json"
+        if not manifest.exists():
+            return None
+        meta = json.loads(manifest.read_text())
+        try:
+            datasets = {k: RunDataset.load(root / k) for k in meta["keys"]}
+        except FileNotFoundError:
+            return None
+        return cls(
+            datasets=datasets,
+            ground_truth_aggressors=meta.get("ground_truth_aggressors", []),
+        )

@@ -1,0 +1,89 @@
+"""Campaign inspection: summary statistics of generated datasets.
+
+``python -m repro.campaign`` prints one row per dataset — run counts,
+step counts, variability spread, optimality fraction, MPI share, and
+placement fragmentation — the quick health check before running the
+analyses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.campaign.datasets import Campaign, RunDataset
+
+
+@dataclass
+class DatasetSummary:
+    """One dataset's health-check row."""
+
+    key: str
+    runs: int
+    steps: int
+    worst_over_best: float
+    optimal_fraction: float
+    mpi_fraction: float
+    mean_total: float
+    mean_num_routers: float
+    mean_num_groups: float
+
+    def row(self) -> list[str]:
+        return [
+            self.key,
+            str(self.runs),
+            str(self.steps),
+            f"{self.worst_over_best:.2f}x",
+            f"{self.optimal_fraction:.0%}",
+            f"{self.mpi_fraction:.0%}",
+            f"{self.mean_total:.0f}s",
+            f"{self.mean_num_routers:.0f}",
+            f"{self.mean_num_groups:.1f}",
+        ]
+
+
+def summarize_dataset(ds: RunDataset) -> DatasetSummary:
+    if len(ds) == 0:
+        raise ValueError(f"dataset {ds.key} is empty")
+    mpi = np.array([r.mpi_times.sum() for r in ds.runs])
+    totals = ds.totals
+    return DatasetSummary(
+        key=ds.key,
+        runs=len(ds),
+        steps=ds.num_steps,
+        worst_over_best=float(ds.relative_performance().max()),
+        optimal_fraction=float(ds.optimality().mean()),
+        mpi_fraction=float(mpi.sum() / totals.sum()),
+        mean_total=float(totals.mean()),
+        mean_num_routers=float(ds.placement[:, 0].mean()),
+        mean_num_groups=float(ds.placement[:, 1].mean()),
+    )
+
+
+def summarize_campaign(campaign: Campaign) -> list[DatasetSummary]:
+    out = []
+    for key in campaign.keys():
+        ds = campaign[key]
+        if len(ds):
+            out.append(summarize_dataset(ds))
+    return out
+
+
+def render_summary(summaries: list[DatasetSummary]) -> str:
+    from repro.experiments.report import ascii_table
+
+    return ascii_table(
+        [
+            "dataset",
+            "runs",
+            "steps",
+            "worst/best",
+            "optimal",
+            "MPI",
+            "mean total",
+            "routers",
+            "groups",
+        ],
+        [s.row() for s in summaries],
+    )

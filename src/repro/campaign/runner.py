@@ -1,0 +1,943 @@
+"""Campaign driver: four months of probe runs on the shared machine.
+
+The runner reproduces the paper's data collection (§III):
+
+1. generate the background job stream and our probe submissions
+   (1–2 jobs per application per day, December 2018 – April 2019);
+2. schedule everything through the Slurm-like queue — probes get whatever
+   fragmented placement is free when they start;
+3. execute every probe run step by step against the *evolving* background
+   traffic, recording per-step times, AriesNCL counters, LDMS io/sys
+   aggregates, placements, neighbourhoods and mpiP profiles;
+4. assemble the six datasets (plus the long MILC run used for Fig. 12).
+
+Performance design (the campaign solves ~40k network states):
+
+* background link loads change only at job start/end events, so a single
+  chronological sweep maintains an additive :class:`BaseLoad` accumulator
+  (O(#links) per event);
+* each probe run's routing geometry is built once; a step solve is then
+  O(#links) vector work plus two ``maximum.reduceat`` passes for the
+  UGAL split — a few milliseconds each.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.apps.base import Application, StepModel
+from repro.apps.registry import DATASET_KEYS, get_application
+from repro.campaign.datasets import Campaign, RunDataset, RunRecord
+from repro.config import DEFAULT_SEED, ScalePreset, get_preset, rng_for
+from repro.network.counters import synthesize_router_counters
+from repro.network.engine import (
+    BaseLoad,
+    CongestionEngine,
+    NetworkState,
+    slowdown_curve,
+)
+from repro.network.ldms import LDMSSampler
+from repro.network.traffic import (
+    FlowSet,
+    allreduce_flows,
+    io_flows,
+    router_alltoall_flows,
+    uniform_random_flows,
+)
+from repro.system.jobs import JobRecord, JobRequest
+from repro.system.scheduler import Scheduler
+from repro.system.users import UserPopulation
+from repro.system.workload import DAY, BackgroundWorkloadGenerator
+from repro.telemetry.ariesncl import AriesNCL
+from repro.telemetry.mpip import profile_run
+from repro.telemetry.sacct import SacctLog
+from repro.topology.dragonfly import DragonflyTopology
+from repro.topology.placement import job_routers
+from repro.topology.routing import Incidence
+
+#: Cori's KNL partition size; background job sizes scale relative to it.
+CORI_KNL_NODES = 9688
+
+#: Fingerprint version: bump when the generation pipeline changes in a way
+#: that invalidates cached campaigns.
+_PIPELINE_VERSION = 12
+
+#: Counter attribution (what a job's AriesNCL reading actually sees):
+#:
+#: * Processor-tile *flit* counters are per-NIC: the job reads the tiles of
+#:   its own nodes, so it counts only its own endpoint traffic — and that
+#:   volume is fixed by the step's workload (congestion stretches a
+#:   transfer, it does not add flits), so it integrates over the *nominal*
+#:   step work.
+#: * Router-tile flit counters are shared per router: the job sees its own
+#:   flits (nominal work) plus every tenant's fabric traffic crossing its
+#:   routers, which accrues for the full realised step duration.
+#: * All stall counters reflect shared backpressure (row/column buses and
+#:   link queues) at the *congested* rate for the realised duration.
+_PT_FLIT_FAMILY = {"PT_FLIT_VC0", "PT_FLIT_VC4", "PT_FLIT_TOT", "PT_PKT_TOT"}
+_RT_FLIT_FAMILY = {"RT_FLIT_TOT", "RT_PKT_TOT"}
+
+#: Short-timescale background "breathing": application phases (collectives
+#: vs compute, checkpoint waves) make aggregate traffic fluctuate on
+#: second-to-minute scales around the scheduler-determined level.
+#: Modelled as a per-run lognormal Ornstein-Uhlenbeck multiplier on the
+#: background load, correlation time BURST_TAU seconds.  This temporal
+#: structure is what the forecasting models exploit: a longer context m
+#: denoises the current level, and a larger horizon k amortises bursts
+#: (the paper's Fig. 8/10 trends, §V-C).
+BURST_SIGMA = 0.35
+BURST_TAU = 45.0
+
+#: Counter sampling jitter (AriesNCL reads are not perfectly aligned with
+#: step boundaries; LDMS samples at 1 Hz).
+COUNTER_NOISE = 0.05
+
+
+def _burst_series(
+    midpoints: np.ndarray, rng: np.random.Generator,
+    sigma: float = BURST_SIGMA, tau: float = BURST_TAU,
+) -> np.ndarray:
+    """Lognormal OU multiplier sampled at a run's step midpoints."""
+    n = len(midpoints)
+    x = np.empty(n)
+    x[0] = rng.normal()
+    for i in range(1, n):
+        rho = float(np.exp(-max(midpoints[i] - midpoints[i - 1], 0.0) / tau))
+        x[i] = rho * x[i - 1] + np.sqrt(max(1 - rho * rho, 0.0)) * rng.normal()
+    return np.exp(sigma * x - 0.5 * sigma * sigma)
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Knobs of one campaign generation."""
+
+    preset: ScalePreset
+    days: float = 120.0
+    seed: int = DEFAULT_SEED
+    dataset_keys: tuple[str, ...] = tuple(DATASET_KEYS)
+    #: Min/max probe submissions per (app, day) — paper: "one or two".
+    probes_per_day: tuple[int, int] = (1, 2)
+    #: Global multiplier on background traffic intensities (calibration).
+    background_intensity: float = 1.0
+    #: Fraction of compute nodes the background keeps busy on average
+    #: (production systems run near-full; lower at tiny scale so the
+    #: 512-node probes can still fit).
+    target_utilization: float = 0.75
+    #: Long probe runs for the Fig. 12 experiment: dataset key -> steps.
+    long_runs: tuple[tuple[str, int], ...] = (("MILC-128", 620),)
+    #: Cache generated datasets on disk.
+    use_cache: bool = True
+
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    def small(cls, **overrides) -> "CampaignConfig":
+        """Benchmark-scale campaign (the default for all figures)."""
+        return cls(preset=get_preset("small"), **overrides)
+
+    @classmethod
+    def tiny(cls, **overrides) -> "CampaignConfig":
+        """Test-scale campaign: a 960-node machine, a few days."""
+        preset = ScalePreset(
+            name="campaign-tiny", groups=10, rows=6, cols=4, nodes_per_router=4
+        )
+        defaults = dict(
+            preset=preset,
+            days=6.0,
+            probes_per_day=(1, 1),
+            long_runs=(("MILC-128", 160),),
+            target_utilization=0.45,
+        )
+        defaults.update(overrides)
+        return cls(**defaults)
+
+    @property
+    def node_scale(self) -> float:
+        """Background job-size scale relative to Cori's KNL partition."""
+        return self.preset.num_nodes / CORI_KNL_NODES
+
+    @property
+    def min_neighbor_nodes(self) -> int:
+        """Neighbourhood size filter, scaled like the background jobs
+        (paper uses 128 nodes on Cori, §V-A)."""
+        return max(8, int(round(128 * self.node_scale)))
+
+    def fingerprint(self) -> str:
+        payload = json.dumps(
+            {
+                "v": _PIPELINE_VERSION,
+                "preset": [
+                    self.preset.groups,
+                    self.preset.rows,
+                    self.preset.cols,
+                    self.preset.nodes_per_router,
+                    self.preset.io_groups,
+                ],
+                "days": self.days,
+                "seed": self.seed,
+                "keys": list(self.dataset_keys),
+                "ppd": list(self.probes_per_day),
+                "bg": self.background_intensity,
+                "util": self.target_utilization,
+                "long": [list(x) for x in self.long_runs],
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+# --------------------------------------------------------------------------- #
+# Fast per-step probe solver
+# --------------------------------------------------------------------------- #
+
+
+#: Discount on middle-hop congestion in the per-flow slowdown.  UGAL-style
+#: adaptive routing can steer around congested *intermediate* links by
+#: picking other minimal/Valiant candidates, but the first and last hops —
+#: the links adjacent to the flow's source and destination routers — are
+#: unavoidable (Kim et al., ISCA'08).  This is what makes stall counters on
+#: the job's *own* routers the dominant deviation signal (paper §V-B).
+MID_HOP_DISCOUNT = 0.55
+
+
+class _SegMax:
+    """Per-flow maximum of a per-link metric via one sorted reduceat.
+
+    ``entry_mask`` restricts the reduction to a subset of incidence
+    entries (e.g. only endpoint-adjacent links).
+    """
+
+    def __init__(
+        self, inc: Incidence, n_flows: int, entry_mask: np.ndarray | None = None
+    ) -> None:
+        if entry_mask is not None:
+            inc = Incidence(
+                inc.flow[entry_mask], inc.link[entry_mask], inc.share[entry_mask]
+            )
+        order = np.argsort(inc.flow, kind="stable")
+        self.link = inc.link[order]
+        flows_sorted = inc.flow[order]
+        if len(flows_sorted):
+            self.seg_starts = np.flatnonzero(
+                np.r_[True, flows_sorted[1:] != flows_sorted[:-1]]
+            )
+            self.seg_flows = flows_sorted[self.seg_starts]
+        else:
+            self.seg_starts = np.empty(0, dtype=np.int64)
+            self.seg_flows = np.empty(0, dtype=np.int64)
+        self.n_flows = n_flows
+
+    def __call__(self, per_link: np.ndarray) -> np.ndarray:
+        out = np.zeros(self.n_flows)
+        if len(self.link):
+            out[self.seg_flows] = np.maximum.reduceat(
+                per_link[self.link], self.seg_starts
+            )
+        return out
+
+
+class ProbeRunContext:
+    """Placement-bound solving state for one probe run."""
+
+    def __init__(
+        self,
+        app: Application,
+        topology: DragonflyTopology,
+        engine: CongestionEngine,
+        job: JobRecord,
+        step_model: StepModel,
+    ) -> None:
+        self.app = app
+        self.topology = topology
+        self.engine = engine
+        self.job = job
+        self.step_model = step_model
+        self.routers = job_routers(topology, job.nodes)
+
+        flows = app.flow_geometry(topology, job.nodes)
+        self.flows = flows
+        routed = engine.route(flows)
+        self.routing = routed.routing
+        n_links = topology.num_links
+        vol = flows.volume
+        self.load_min = self.routing.minimal.link_loads(vol, n_links)
+        self.load_val = self.routing.valiant.link_loads(vol, n_links)
+        # Split each path set into endpoint-adjacent ("edge") hops, which
+        # adaptive routing cannot avoid, and middle hops, which it can
+        # partially steer around (see MID_HOP_DISCOUNT).
+        ls, ld = topology.link_endpoints
+        def _edge_mask(inc: Incidence) -> np.ndarray:
+            return (ls[inc.link] == flows.src[inc.flow]) | (
+                ld[inc.link] == flows.dst[inc.flow]
+            )
+        m_edge = _edge_mask(self.routing.minimal)
+        v_edge = _edge_mask(self.routing.valiant)
+        self.seg_min_edge = _SegMax(self.routing.minimal, len(flows), m_edge)
+        self.seg_min_mid = _SegMax(self.routing.minimal, len(flows), ~m_edge)
+        self.seg_val_edge = _SegMax(self.routing.valiant, len(flows), v_edge)
+        self.seg_val_mid = _SegMax(self.routing.valiant, len(flows), ~v_edge)
+        r = topology.num_routers
+        self.inj_unit = np.bincount(flows.src, weights=vol, minlength=r)
+        self.ej_unit = np.bincount(flows.dst, weights=vol, minlength=r)
+        self.vc4_unit = self.inj_unit * flows.response_ratio
+        self.vol_weights = vol / vol.sum() if vol.sum() > 0 else vol
+
+    def mean_contribution(self) -> BaseLoad:
+        """This probe's average traffic, as seen by *other* jobs."""
+        a0 = self.engine.alpha0
+        return BaseLoad(
+            link_loads=a0 * self.load_min + (1 - a0) * self.load_val,
+            inj=self.inj_unit.copy(),
+            ej=self.ej_unit.copy(),
+            vc4=self.vc4_unit.copy(),
+        )
+
+    def solve_step(
+        self, base: BaseLoad, intensity: float
+    ) -> tuple[NetworkState, float, float]:
+        """Solve one step: returns (state, fabric_slowdown, endpoint_slowdown)."""
+        topo = self.topology
+        eng = self.engine
+        cap = topo.link_capacity
+        s = intensity
+        a0 = eng.alpha0
+
+        loads0 = base.link_loads + s * (a0 * self.load_min + (1 - a0) * self.load_val)
+        util0 = loads0 / cap
+        u_min = np.maximum(
+            self.seg_min_edge(util0), MID_HOP_DISCOUNT * self.seg_min_mid(util0)
+        )
+        u_val = np.maximum(
+            self.seg_val_edge(util0), MID_HOP_DISCOUNT * self.seg_val_mid(util0)
+        )
+        alpha_f = np.clip(a0 + eng.ugal_gain * (u_val - u_min), 0.25, 0.98)
+        a = float(alpha_f @ self.vol_weights) if len(alpha_f) else a0
+
+        loads = base.link_loads + s * (a * self.load_min + (1 - a) * self.load_val)
+        state = NetworkState(
+            topology=topo,
+            link_loads=loads,
+            inj=base.inj + s * self.inj_unit,
+            ej=base.ej + s * self.ej_unit,
+            vc4=base.vc4 + s * self.vc4_unit,
+        )
+        path_util = alpha_f * u_min + (1.0 - alpha_f) * u_val
+        fabric = slowdown_curve(path_util)
+        nic_util = state.nic_util
+        if len(self.flows):
+            ep_util = np.maximum(
+                nic_util[self.flows.src], nic_util[self.flows.dst]
+            )
+        else:
+            ep_util = np.empty(0)
+        endpoint = slowdown_curve(ep_util)
+        w = self.vol_weights
+        return (
+            state,
+            float(fabric @ w) if len(w) else 1.0,
+            float(endpoint @ w) if len(w) else 1.0,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Background traffic
+# --------------------------------------------------------------------------- #
+
+
+#: Lognormal sigma of per-node injection skew within background jobs.
+#: Master ranks and I/O aggregators concentrate endpoint traffic, so the
+#: NIC pressure a probe sees at a *shared* router is a local lottery —
+#: largely decorrelated from the machine-wide fabric load.  This is what
+#: separates the endpoint (PT-stall) deviation channel from the fabric
+#: (RT-stall) channel in the datasets.
+ENDPOINT_SKEW_SIGMA = 1.2
+
+
+class BackgroundTrafficModel:
+    """Builds each background job's additive BaseLoad contribution."""
+
+    def __init__(
+        self,
+        topology: DragonflyTopology,
+        engine: CongestionEngine,
+        population: UserPopulation,
+        intensity: float,
+        seed: int,
+    ) -> None:
+        self.topology = topology
+        self.engine = engine
+        self.population = population
+        self.intensity = intensity
+        self.seed = seed
+
+    def flows_for(self, job: JobRecord) -> FlowSet:
+        arch = self.population.by_name(job.user)
+        rng = rng_for("bgflows", job.job_id, seed=self.seed)
+        n = job.num_nodes
+        comm_total = arch.comm_intensity * n * self.intensity
+        node_weights = rng.lognormal(0.0, ENDPOINT_SKEW_SIGMA, size=n)
+        parts: list[FlowSet] = []
+        if arch.pattern == "alltoall":
+            routers = np.unique(self.topology.node_router(job.nodes))
+            router_w = np.bincount(
+                np.searchsorted(routers, self.topology.node_router(job.nodes)),
+                weights=node_weights,
+                minlength=len(routers),
+            )
+            parts.append(
+                router_alltoall_flows(
+                    self.topology,
+                    job.nodes,
+                    comm_total,
+                    arch.response_ratio,
+                    weights=router_w + 1e-12,
+                )
+            )
+        elif arch.pattern == "allreduce":
+            parts.append(
+                allreduce_flows(
+                    self.topology,
+                    job.nodes,
+                    bytes_per_node=arch.comm_intensity * self.intensity,
+                    response_ratio=arch.response_ratio,
+                )
+            )
+        else:  # uniform
+            parts.append(
+                uniform_random_flows(
+                    self.topology,
+                    job.nodes,
+                    bytes_per_node=arch.comm_intensity * self.intensity,
+                    rng=rng,
+                    fanout=3,
+                    response_ratio=arch.response_ratio,
+                    node_weights=node_weights,
+                )
+            )
+        # Filesystem traffic is built separately (see contribution()) so
+        # the timeline can modulate it with the bursty I/O weather.
+        return FlowSet.concat(parts)
+
+    def _solve_static(self, flows: FlowSet) -> BaseLoad:
+        routed = self.engine.route(flows)
+        a0 = self.engine.alpha0
+        loads = routed.routing.link_loads(
+            flows.volume, a0, self.topology.num_links
+        )
+        r = self.topology.num_routers
+        if len(flows):
+            inj = np.bincount(flows.src, weights=flows.volume, minlength=r)
+            ej = np.bincount(flows.dst, weights=flows.volume, minlength=r)
+            vc4 = inj * flows.response_ratio
+        else:
+            inj = np.zeros(r)
+            ej = np.zeros(r)
+            vc4 = np.zeros(r)
+        return BaseLoad(link_loads=loads, inj=inj, ej=ej, vc4=vc4)
+
+    def contribution(self, job: JobRecord) -> tuple[BaseLoad, BaseLoad]:
+        """(steady communication, filesystem) contributions of one job.
+
+        The I/O part is kept separate so the timeline can modulate it with
+        the bursty filesystem "weather" (see :class:`IOWeather`).
+        """
+        comm = self._solve_static(self.flows_for(job))
+        arch = self.population.by_name(job.user)
+        if arch.io_intensity > 0:
+            io = self._solve_static(
+                io_flows(
+                    self.topology,
+                    job.nodes,
+                    bytes_per_sec=arch.io_intensity * job.num_nodes * self.intensity,
+                )
+            )
+        else:
+            io = BaseLoad.zeros(self.topology)
+        return comm, io
+
+
+class IOWeather:
+    """Bursty machine-wide filesystem activity multiplier.
+
+    Filesystem load on production systems is famously bursty: checkpoint
+    waves, staging campaigns and scrubbing drive order-of-magnitude swings
+    on timescales of minutes to hours.  Modelled as a lognormal AR(1)
+    (Ornstein-Uhlenbeck in log space) sampled on an hourly grid; mean 1.
+
+    This burstiness matters twice for the reproduction: it decorrelates
+    *fabric* congestion (I/O crosses global links) from *endpoint*
+    congestion (I/O never lands on a compute job's NICs), and it is the
+    signal behind the paper's finding that system-wide I/O counters are
+    the top forecasting feature for bandwidth-bound MILC (§V-C).
+    """
+
+    def __init__(
+        self,
+        horizon: float,
+        rng: np.random.Generator,
+        step: float = 1800.0,
+        sigma: float = 0.9,
+        correlation: float = 0.92,
+    ) -> None:
+        n = max(2, int(np.ceil(horizon / step)) + 2)
+        log_w = np.empty(n)
+        log_w[0] = rng.normal(0.0, sigma)
+        innov = rng.normal(0.0, sigma * np.sqrt(1 - correlation**2), size=n)
+        for i in range(1, n):
+            log_w[i] = correlation * log_w[i - 1] + innov[i]
+        # Mean-one normalisation of the lognormal.
+        self._w = np.exp(log_w - 0.5 * sigma**2)
+        self._step = step
+
+    def at(self, t: float) -> float:
+        """Multiplier at time ``t`` (piecewise constant)."""
+        i = min(int(max(t, 0.0) / self._step), len(self._w) - 1)
+        return float(self._w[i])
+
+
+class TrafficTimeline:
+    """Chronological sweep over job start/end events with additive
+    accumulators for steady (comm) and weather-modulated (io) traffic."""
+
+    def __init__(
+        self,
+        contributions: "_LazyContributions",
+        jobs: list[JobRecord],
+        io_weather: IOWeather,
+    ):
+        self._contrib = contributions
+        self._weather = io_weather
+        events: list[tuple[float, int, int]] = []
+        for j in jobs:
+            events.append((j.start_time, +1, j.job_id))
+            events.append((j.end_time, -1, j.job_id))
+        events.sort()
+        self._events = events
+        self._ptr = 0
+        self._active: set[int] = set()
+        self._comm: BaseLoad | None = None
+        self._io: BaseLoad | None = None
+        self._jobs_by_id = {j.job_id: j for j in jobs}
+
+    @staticmethod
+    def _iadd(acc: BaseLoad, c: BaseLoad, sign: float) -> None:
+        acc.link_loads += sign * c.link_loads
+        acc.inj += sign * c.inj
+        acc.ej += sign * c.ej
+        acc.vc4 += sign * c.vc4
+
+    def base_at(
+        self, t: float, exclude_job_id: int, comm_scale: float = 1.0
+    ) -> BaseLoad:
+        """Aggregate background at time ``t`` minus the excluded job.
+
+        ``comm_scale`` applies the short-timescale comm "breathing" to the
+        steady communication part only; the filesystem part follows its
+        own weather process.  The two fluctuate independently, which is
+        what lets system-wide I/O counters carry *marginal* forecasting
+        information beyond the job-local counters (paper §V-C).
+
+        Must be called with non-decreasing ``t``.
+        """
+        if self._comm is None:
+            self._comm = BaseLoad.zeros(self._contrib.topology)
+            self._io = BaseLoad.zeros(self._contrib.topology)
+        while self._ptr < len(self._events) and self._events[self._ptr][0] <= t:
+            _, delta, jid = self._events[self._ptr]
+            comm, io = self._contrib.get(self._jobs_by_id[jid])
+            sign = 1.0 if delta > 0 else -1.0
+            self._iadd(self._comm, comm, sign)
+            self._iadd(self._io, io, sign)
+            if delta > 0:
+                self._active.add(jid)
+            else:
+                self._active.discard(jid)
+                self._contrib.drop(jid)
+            self._ptr += 1
+        w = self._weather.at(t)
+        c = comm_scale
+        out = BaseLoad(
+            c * self._comm.link_loads + w * self._io.link_loads,
+            c * self._comm.inj + w * self._io.inj,
+            c * self._comm.ej + w * self._io.ej,
+            c * self._comm.vc4 + w * self._io.vc4,
+        )
+        if exclude_job_id in self._active:
+            comm, io = self._contrib.get(self._jobs_by_id[exclude_job_id])
+            out.link_loads = np.maximum(
+                out.link_loads - c * comm.link_loads - w * io.link_loads, 0.0
+            )
+            out.inj = np.maximum(out.inj - c * comm.inj - w * io.inj, 0.0)
+            out.ej = np.maximum(out.ej - c * comm.ej - w * io.ej, 0.0)
+            out.vc4 = np.maximum(out.vc4 - c * comm.vc4 - w * io.vc4, 0.0)
+        return out
+
+
+class _LazyContributions:
+    """Cache of per-job BaseLoads, built on first use, dropped at job end.
+
+    Probe jobs are not in the user population; their contributions come
+    from registered builders (the probe's own flow geometry at mean
+    intensity), so overlapping probes see each other — the paper observed
+    exactly this self-interference (§V-A: User-8 appears in its own
+    aggressor lists).
+    """
+
+    def __init__(self, model: BackgroundTrafficModel) -> None:
+        self.model = model
+        self.topology = model.topology
+        self._cache: dict[int, tuple[BaseLoad, BaseLoad]] = {}
+        self._builders: dict[int, object] = {}
+
+    def register_probe_builder(self, job_id: int, builder) -> None:
+        self._builders[job_id] = builder
+
+    def get(self, job: JobRecord) -> tuple[BaseLoad, BaseLoad]:
+        c = self._cache.get(job.job_id)
+        if c is None:
+            builder = self._builders.get(job.job_id)
+            if builder is not None:
+                # Probes generate negligible filesystem traffic (§III-A).
+                c = (builder(), BaseLoad.zeros(self.topology))
+            else:
+                c = self.model.contribution(job)
+            self._cache[job.job_id] = c
+        return c
+
+    def drop(self, job_id: int) -> None:
+        self._cache.pop(job_id, None)
+        self._builders.pop(job_id, None)
+
+
+# --------------------------------------------------------------------------- #
+# The runner
+# --------------------------------------------------------------------------- #
+
+
+def _long_step_model(app: Application, steps: int) -> StepModel:
+    """Extend an app's step model to ``steps`` by tiling the steady phase."""
+    sm = app.step_model()
+    t = sm.num_steps
+    if steps <= t:
+        return StepModel(
+            sm.compute[:steps], sm.mpi[:steps], sm.intensity[:steps]
+        )
+    # Keep the native prefix; repeat the last quarter (the steady phase).
+    tail = slice(max(t - max(t // 4, 1), 0), t)
+    reps = int(np.ceil((steps - t) / max(tail.stop - tail.start, 1)))
+    compute = np.concatenate([sm.compute] + [sm.compute[tail]] * reps)[:steps]
+    mpi = np.concatenate([sm.mpi] + [sm.mpi[tail]] * reps)[:steps]
+    inten = np.concatenate([sm.intensity] + [sm.intensity[tail]] * reps)[:steps]
+    return StepModel(compute, mpi, inten)
+
+
+@dataclass
+class _ProbePlan:
+    """One probe submission before scheduling."""
+
+    key: str
+    long_steps: int | None = None  # None = regular dataset run
+
+
+class CampaignRunner:
+    """Generates a :class:`~repro.campaign.datasets.Campaign`."""
+
+    def __init__(self, config: CampaignConfig) -> None:
+        self.config = config
+        self.topology = DragonflyTopology(
+            groups=config.preset.groups,
+            row_size=config.preset.rows,
+            col_size=config.preset.cols,
+            nodes_per_router=config.preset.nodes_per_router,
+            io_groups=config.preset.io_groups,
+        )
+        self.engine = CongestionEngine(self.topology)
+        self.sampler = LDMSSampler(self.topology)
+        self.population = UserPopulation.cori_like(node_scale=config.node_scale)
+
+    # ------------------------------------------------------------------ #
+
+    def run(self, progress: bool = False) -> Campaign:
+        cfg = self.config
+        if cfg.use_cache:
+            cached = Campaign.load(cfg.fingerprint())
+            if cached is not None:
+                return cached
+        campaign = self._generate(progress=progress)
+        if cfg.use_cache:
+            campaign.save(cfg.fingerprint())
+        return campaign
+
+    # ------------------------------------------------------------------ #
+
+    def _probe_requests(self) -> tuple[list[JobRequest], dict[tuple[str, float], _ProbePlan]]:
+        """Probe submissions: 1-2 per app per day plus the long runs."""
+        cfg = self.config
+        rng = rng_for("probe-schedule", seed=cfg.seed)
+        requests: list[JobRequest] = []
+        plans: dict[tuple[str, float], _ProbePlan] = {}
+        lo, hi = cfg.probes_per_day
+        for day in range(int(cfg.days)):
+            for key in cfg.dataset_keys:
+                app = get_application(key)
+                n = int(rng.integers(lo, hi + 1))
+                for _ in range(n):
+                    t = day * DAY + float(rng.uniform(0, DAY))
+                    req = JobRequest(
+                        user="User-8",
+                        name=f"probe-{key}",
+                        submit_time=t,
+                        num_nodes=app.num_nodes,
+                        duration=app.step_model().total_mean_time * 1.6 + 120.0,
+                        traffic_tag=key,
+                        is_probe=True,
+                    )
+                    requests.append(req)
+                    plans[(key, t)] = _ProbePlan(key=key)
+        # Long runs near the campaign end (unseen by earlier training data).
+        for key, steps in cfg.long_runs:
+            app = get_application(key)
+            sm = _long_step_model(app, steps)
+            t = (cfg.days - 1.5) * DAY
+            req = JobRequest(
+                user="User-8",
+                name=f"probe-long-{key}",
+                submit_time=t,
+                num_nodes=app.num_nodes,
+                duration=sm.total_mean_time * 1.6 + 120.0,
+                traffic_tag=key,
+                is_probe=True,
+            )
+            requests.append(req)
+            plans[(key, t)] = _ProbePlan(key=key, long_steps=steps)
+        return requests, plans
+
+    def _generate(self, progress: bool = False) -> Campaign:
+        cfg = self.config
+        topo = self.topology
+        horizon = cfg.days * DAY
+
+        # 1. Jobs: background + probes, scheduled together.
+        bg_gen = BackgroundWorkloadGenerator.for_target_utilisation(
+            self.population,
+            rng_for("bg-workload", seed=cfg.seed),
+            total_nodes=len(topo.compute_nodes),
+            target_utilisation=cfg.target_utilization,
+            max_job_nodes=max(len(topo.compute_nodes) // 3, 4),
+        )
+        bg_requests = bg_gen.generate(0.0, horizon)
+        probe_requests, plans = self._probe_requests()
+        scheduler = Scheduler(
+            topo, rng=rng_for("scheduler", seed=cfg.seed), horizon=horizon * 1.2
+        )
+        result = scheduler.schedule(bg_requests + probe_requests)
+        sacct = SacctLog(result, topo)
+
+        probes = result.probes()
+        # 2. Build probe contexts lazily over a global chronological sweep.
+        bg_model = BackgroundTrafficModel(
+            topo, self.engine, self.population, cfg.background_intensity, cfg.seed
+        )
+        contribs = _LazyContributions(bg_model)
+        weather = IOWeather(
+            horizon * 1.3, rng_for("io-weather", seed=cfg.seed)
+        )
+        timeline = TrafficTimeline(contribs, result.jobs, weather)
+
+        # Probe sample plan: nominal step midpoints.
+        samples: list[tuple[float, int, int]] = []  # (t, probe idx, step)
+        step_models: list[StepModel] = []
+        apps: list[Application] = []
+        plan_list: list[_ProbePlan] = []
+        bursts: list[np.ndarray] = []
+        for pi, job in enumerate(probes):
+            plan = plans[(job.request.traffic_tag, job.request.submit_time)]
+            app = get_application(plan.key)
+            sm = (
+                _long_step_model(app, plan.long_steps)
+                if plan.long_steps
+                else app.step_model()
+            )
+            step_models.append(sm)
+            apps.append(app)
+            plan_list.append(plan)
+            durations = sm.compute + sm.mpi
+            mids = job.start_time + np.cumsum(durations) - durations / 2
+            bursts.append(
+                _burst_series(mids, rng_for("burst", job.job_id, seed=cfg.seed))
+            )
+            for s in range(sm.num_steps):
+                samples.append((float(mids[s]), pi, s))
+        samples.sort()
+
+        # Per-probe result buffers.
+        n_probes = len(probes)
+        contexts: dict[int, ProbeRunContext] = {}
+
+        def get_context(pi: int) -> ProbeRunContext:
+            ctx = contexts.get(pi)
+            if ctx is None:
+                ctx = ProbeRunContext(
+                    apps[pi], topo, self.engine, probes[pi], step_models[pi]
+                )
+                contexts[pi] = ctx
+            return ctx
+
+        for pi, job in enumerate(probes):
+            contribs.register_probe_builder(
+                job.job_id,
+                (lambda p: (lambda: get_context(p).mean_contribution()))(pi),
+            )
+
+        remaining = [sm.num_steps for sm in step_models]
+        collectors: list[AriesNCL | None] = [None] * n_probes
+        buffers = [
+            {
+                "step": np.zeros(sm.num_steps),
+                "compute": np.zeros(sm.num_steps),
+                "mpi": np.zeros(sm.num_steps),
+                "ldms": np.zeros((sm.num_steps, 8)),
+            }
+            for sm in step_models
+        ]
+
+        from repro.campaign.datasets import LDMS_FEATURES
+
+        done = 0
+        for t, pi, step in samples:
+            job = probes[pi]
+            app = apps[pi]
+            sm = step_models[pi]
+            ctx = get_context(pi)
+            if collectors[pi] is None:
+                collectors[pi] = AriesNCL(
+                    topo,
+                    ctx.routers,
+                    rng=rng_for("ncl", job.job_id, seed=cfg.seed),
+                    noise=COUNTER_NOISE,
+                )
+            rng = rng_for("steps", job.job_id, step, seed=cfg.seed)
+
+            # Short-timescale comm breathing scales the steady background;
+            # filesystem traffic follows its own weather inside base_at.
+            b = float(bursts[pi][step])
+            base = timeline.base_at(t, exclude_job_id=job.job_id, comm_scale=b)
+            vol_noise = float(rng.lognormal(0.0, app.intensity_sigma))
+            intensity = sm.intensity[step] * vol_noise
+            state, fabric_s, endpoint_s = ctx.solve_step(base, intensity)
+
+            blended = app.blended_slowdown(fabric_s, endpoint_s)
+            t_mpi = (
+                sm.mpi[step]
+                * vol_noise
+                * blended
+                * float(rng.lognormal(0.0, app.residual_sigma))
+            )
+            t_comp = sm.compute[step] * float(rng.lognormal(0.0, app.compute_sigma))
+            t_step = t_comp + t_mpi
+
+            rates = synthesize_router_counters(state)
+            # Background-only rates, to split flit-family integration (see
+            # _FLIT_FAMILY above).
+            bg_state = NetworkState(
+                topology=topo,
+                link_loads=base.link_loads,
+                inj=base.inj,
+                ej=base.ej,
+                vc4=base.vc4,
+            )
+            bg_rates = synthesize_router_counters(bg_state)
+            # This step's nominal duration: its own flit volume is (rate x
+            # nominal time), regardless of how long congestion stretched it.
+            t_nominal = float(sm.compute[step] + sm.mpi[step])
+            job_rates = {}
+            for name, total_rate in rates.items():
+                if name in _PT_FLIT_FAMILY:
+                    own = np.maximum(total_rate - bg_rates[name], 0.0)
+                    job_rates[name] = own * (t_nominal / t_step)
+                elif name in _RT_FLIT_FAMILY:
+                    own = np.maximum(total_rate - bg_rates[name], 0.0)
+                    job_rates[name] = (
+                        own * (t_nominal / t_step) + bg_rates[name]
+                    )
+                else:
+                    job_rates[name] = total_rate
+            collectors[pi].record_step(step, state, t_step, router_rates=job_rates)
+            ldms_vals = self.sampler.sample(
+                state,
+                ctx.routers,
+                duration=t_step,
+                rng=rng_for("ldms", job.job_id, step, seed=cfg.seed),
+                noise=COUNTER_NOISE,
+                router_rates=rates,
+            )
+            buf = buffers[pi]
+            buf["step"][step] = t_step
+            buf["compute"][step] = t_comp
+            buf["mpi"][step] = t_mpi
+            buf["ldms"][step] = [ldms_vals[n] for n in LDMS_FEATURES]
+
+            remaining[pi] -= 1
+            if remaining[pi] == 0:
+                contexts.pop(pi)  # free the routing geometry
+            done += 1
+            if progress and done % 2000 == 0:  # pragma: no cover
+                print(f"  campaign: {done}/{len(samples)} steps solved")
+
+        # 3. Assemble datasets.
+        datasets: dict[str, RunDataset] = {
+            key: RunDataset(key=key) for key in cfg.dataset_keys
+        }
+        for key, steps in cfg.long_runs:
+            datasets[f"{key}-long{steps}"] = RunDataset(key=f"{key}-long{steps}")
+
+        for pi, job in enumerate(probes):
+            plan = plan_list[pi]
+            app = apps[pi]
+            buf = buffers[pi]
+            prof = profile_run(
+                app,
+                buf["compute"],
+                buf["mpi"],
+                rng=rng_for("mpip", job.job_id, seed=cfg.seed),
+            )
+            from repro.topology.placement import placement_features
+
+            feats = placement_features(topo, job.nodes)
+            key = (
+                f"{plan.key}-long{plan.long_steps}" if plan.long_steps else plan.key
+            )
+            ds = datasets[key]
+            ds.runs.append(
+                RunRecord(
+                    run_index=len(ds.runs),
+                    start_time=job.start_time,
+                    step_times=buf["step"],
+                    compute_times=buf["compute"],
+                    mpi_times=buf["mpi"],
+                    counters=collectors[pi].matrix(),
+                    ldms=buf["ldms"],
+                    num_routers=feats["NUM_ROUTERS"],
+                    num_groups=feats["NUM_GROUPS"],
+                    neighborhood=sacct.neighborhood_users(
+                        job, min_nodes=cfg.min_neighbor_nodes
+                    ),
+                    routine_times=prof.routine_times,
+                )
+            )
+
+        return Campaign(
+            datasets=datasets,
+            ground_truth_aggressors=self.population.aggressors,
+        )
+
+
+def run_campaign(
+    config: CampaignConfig | None = None, progress: bool = False
+) -> Campaign:
+    """Convenience wrapper: build (or load from cache) a campaign."""
+    return CampaignRunner(config or CampaignConfig.small()).run(progress=progress)

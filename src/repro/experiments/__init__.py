@@ -1,0 +1,55 @@
+"""Experiment drivers: one module per paper table/figure.
+
+Every module exposes ``run(campaign=None, fast=False) -> ExperimentResult``.
+The result carries structured data plus an ASCII rendering of the same
+rows/series the paper's artefact reports.  ``python -m repro.experiments
+<exp-id>`` runs one from the command line.
+
+Experiment ids: table01, table02, table03, fig01, fig03, fig04, fig05,
+fig07, fig08, fig09, fig10, fig11, fig12 — see DESIGN.md §5 for the
+mapping to paper artefacts.
+"""
+
+from repro.experiments.report import ExperimentResult
+
+__all__ = ["ExperimentResult", "EXPERIMENTS", "run_experiment"]
+
+#: Experiment id -> "module" or "module:function" (imported lazily).
+EXPERIMENTS: dict[str, str] = {
+    "table01": "repro.experiments.table01",
+    "table02": "repro.experiments.table02",
+    "table03": "repro.experiments.table03_users",
+    "fig01": "repro.experiments.fig01_relative",
+    "fig03": "repro.experiments.fig03_meanstep",
+    "fig04": "repro.experiments.fig04_mpi_amg_milc",
+    "fig05": "repro.experiments.fig05_mpi_minivite_umt",
+    "fig07": "repro.experiments.fig07_counter_trends",
+    "fig08": "repro.experiments.fig08_forecast_amg",
+    "fig09": "repro.experiments.fig09_relevance",
+    "fig10": "repro.experiments.fig10_forecast_milc",
+    "fig11": "repro.experiments.fig11_importances",
+    "fig12": "repro.experiments.fig12_longrun",
+    # Extensions beyond the paper (DESIGN.md §7).
+    "extra-comm": "repro.experiments.extras:run_comm",
+    "extra-routing": "repro.experiments.extras:run_routing",
+    "extra-whatif": "repro.experiments.extras:run_whatif",
+    "extra-sysforecast": "repro.experiments.extras:run_sysforecast",
+    "extra-placement": "repro.experiments.extras:run_placement",
+    "extra-contention": "repro.experiments.extras:run_contention",
+}
+
+#: The paper's own artefacts (excludes extensions) — what `all` runs.
+PAPER_EXPERIMENTS: list[str] = [k for k in EXPERIMENTS if not k.startswith("extra-")]
+
+
+def run_experiment(exp_id: str, campaign=None, fast: bool = False) -> ExperimentResult:
+    """Run one experiment by id."""
+    import importlib
+
+    if exp_id not in EXPERIMENTS:
+        raise KeyError(f"unknown experiment {exp_id!r}; expected one of {sorted(EXPERIMENTS)}")
+    target = EXPERIMENTS[exp_id]
+    module_name, _, attr = target.partition(":")
+    module = importlib.import_module(module_name)
+    fn = getattr(module, attr) if attr else module.run
+    return fn(campaign=campaign, fast=fast)

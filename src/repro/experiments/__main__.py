@@ -1,0 +1,52 @@
+"""CLI: ``python -m repro.experiments <exp-id> [--fast]`` or ``all``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import EXPERIMENTS, run_experiment
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments",
+        description="Regenerate a paper table/figure from the campaign data.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="experiment id (see DESIGN.md §5)",
+    )
+    parser.add_argument(
+        "--fast",
+        action="store_true",
+        help="use the test-scale campaign (smoke run)",
+    )
+    parser.add_argument(
+        "--export",
+        metavar="DIR",
+        default=None,
+        help="also write JSON/CSV/TXT result files into DIR",
+    )
+    args = parser.parse_args(argv)
+    if args.experiment == "all":
+        from repro.experiments import PAPER_EXPERIMENTS
+
+        ids = sorted(PAPER_EXPERIMENTS)
+    else:
+        ids = [args.experiment]
+    for exp_id in ids:
+        result = run_experiment(exp_id, fast=args.fast)
+        print(result.render())
+        print()
+        if args.export:
+            from repro.experiments.export import export_result
+
+            for path in export_result(result, args.export):
+                print(f"  wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,96 @@
+"""Shared grid driver for the Fig. 8 / Fig. 10 forecasting ablations."""
+
+from __future__ import annotations
+
+from repro.analysis.forecasting import ablation_grid, default_forecaster
+from repro.campaign.datasets import Campaign
+from repro.experiments.report import ascii_table
+from repro.ml.attention import AttentionForecaster
+
+
+def fast_forecaster(seed: int = 0) -> AttentionForecaster:
+    return AttentionForecaster(
+        d_model=12, hidden=24, epochs=60, batch_size=128, seed=seed
+    )
+
+
+def bench_forecaster(seed: int = 0) -> AttentionForecaster:
+    return AttentionForecaster(
+        d_model=24, hidden=48, epochs=140, batch_size=192, lr=3e-3, seed=seed
+    )
+
+
+def forecast_grid(
+    camp: Campaign,
+    keys: list[str],
+    ms: list[int],
+    ks: list[int],
+    tiers: list[str],
+    fast: bool,
+) -> tuple[dict, str]:
+    factory = fast_forecaster if fast else bench_forecaster
+    # Two grouped folds keep the full 2x2xTiers grids tractable; the
+    # within-cell fold spread is reported in each ForecastResult.
+    n_splits = 2
+    data: dict[str, list] = {}
+    blocks = []
+    for key in keys:
+        ds = camp[key]
+        # Clamp the grid to what the dataset's step count allows.
+        t = ds.num_steps
+        ms_ok = [m for m in ms if m + min(ks) < t]
+        ks_ok = [k for k in ks if min(ms_ok, default=t) + k < t] if ms_ok else []
+        if not ms_ok or not ks_ok:
+            continue
+        results = ablation_grid(
+            ds, ms_ok, ks_ok, tiers, n_splits=n_splits, model_factory=factory
+        )
+        data[key] = results
+        rows = []
+        for k in ks_ok:
+            for m in ms_ok:
+                cells = [r for r in results if r.m == m and r.k == k]
+                rows.append(
+                    [f"k={k}", f"m={m}"]
+                    + [f"{r.mape:.2f}" for r in cells]
+                )
+        blocks.append(
+            f"{key} (MAPE %, grouped {n_splits}-fold CV)\n"
+            + ascii_table(["", ""] + tiers, rows)
+        )
+    return data, "\n\n".join(blocks)
+
+
+def grid_summary(data: dict) -> dict:
+    """Aggregate shape checks: does more context/horizon/features help?"""
+    out = {}
+    for key, results in data.items():
+        by = {(r.m, r.k, r.tier): r.mape for r in results}
+        ms = sorted({r.m for r in results})
+        ks = sorted({r.k for r in results})
+        tiers = [r.tier for r in results[: len(set(r.tier for r in results))]]
+        out[key] = {
+            "m_effect": _mean_delta(by, ms, ks, tiers, axis="m"),
+            "k_effect": _mean_delta(by, ms, ks, tiers, axis="k"),
+            "best_mape": min(r.mape for r in results),
+        }
+    return out
+
+
+def _mean_delta(by, ms, ks, tiers, axis: str) -> float:
+    """Mean MAPE(larger) - MAPE(smaller) along one axis (negative = helps)."""
+    import numpy as np
+
+    deltas = []
+    for tier in {t for (_, _, t) in by}:
+        for m in ms:
+            for k in ks:
+                if axis == "m" and len(ms) > 1:
+                    lo, hi = (ms[0], k, tier), (ms[-1], k, tier)
+                elif axis == "k" and len(ks) > 1:
+                    lo, hi = (m, ks[0], tier), (m, ks[-1], tier)
+                else:
+                    continue
+                if lo in by and hi in by:
+                    deltas.append(by[hi] - by[lo])
+    return float(np.mean(deltas)) if deltas else 0.0

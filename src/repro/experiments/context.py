@@ -1,0 +1,48 @@
+"""Shared experiment context: one campaign serving every figure.
+
+The campaign scale follows the ``REPRO_SCALE`` / ``REPRO_FAST``
+environment:
+
+* default — the benchmark-scale 120-day campaign (generated once, cached
+  on disk under ``REPRO_CACHE_DIR``);
+* ``REPRO_FAST=1`` or ``fast=True`` — the test-scale campaign, for smoke
+  runs of the full pipeline.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.campaign.datasets import Campaign
+from repro.campaign.runner import CampaignConfig, run_campaign
+
+_CACHE: dict[str, Campaign] = {}
+
+
+def fast_requested() -> bool:
+    return os.environ.get("REPRO_FAST", "0") not in ("0", "", "false")
+
+
+def experiment_config(fast: bool = False) -> CampaignConfig:
+    if fast or fast_requested():
+        return CampaignConfig.tiny()
+    return CampaignConfig.small()
+
+
+def get_campaign(campaign: Campaign | None = None, fast: bool = False) -> Campaign:
+    """The campaign to analyse: supplied, cached in-process, or generated."""
+    if campaign is not None:
+        return campaign
+    cfg = experiment_config(fast)
+    key = cfg.fingerprint()
+    if key not in _CACHE:
+        _CACHE[key] = run_campaign(cfg)
+    return _CACHE[key]
+
+
+def long_run_key(campaign: Campaign) -> str | None:
+    """The long MILC run's dataset key, if the campaign has one."""
+    for key in campaign.keys():
+        if key.startswith("MILC-128-long"):
+            return key
+    return None

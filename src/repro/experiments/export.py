@@ -1,0 +1,77 @@
+"""Export experiment results to JSON/CSV for external plotting.
+
+The ASCII reports are for the terminal; users who want to re-plot the
+figures in matplotlib/gnuplot can export any experiment's structured data:
+
+    python -m repro.experiments fig09 --export results/
+
+writes ``results/fig09.json`` (all payload arrays, JSON-serialised) and,
+for tabular payloads, ``results/fig09.csv``.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.experiments.report import ExperimentResult
+
+
+def _jsonable(obj):
+    """Recursively convert numpy/dataclass payloads to JSON-safe values."""
+    if isinstance(obj, np.ndarray):
+        return obj.tolist()
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return _jsonable(asdict(obj))
+    if isinstance(obj, dict):
+        return {str(k): _jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_jsonable(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    if hasattr(obj, "isoformat"):  # datetimes
+        return obj.isoformat()
+    return repr(obj)
+
+
+def export_result(result: ExperimentResult, out_dir: Path | str) -> list[Path]:
+    """Write ``<exp_id>.json`` (+ ``.csv`` when tabular, + ``.txt`` report).
+
+    Returns the written paths.
+    """
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    written: list[Path] = []
+
+    jpath = out_dir / f"{result.exp_id}.json"
+    jpath.write_text(
+        json.dumps(
+            {
+                "exp_id": result.exp_id,
+                "title": result.title,
+                "data": _jsonable(result.data),
+            },
+            indent=1,
+        )
+    )
+    written.append(jpath)
+
+    tpath = out_dir / f"{result.exp_id}.txt"
+    tpath.write_text(result.render() + "\n")
+    written.append(tpath)
+
+    rows = result.data.get("rows")
+    if isinstance(rows, list) and rows and isinstance(rows[0], (list, tuple)):
+        cpath = out_dir / f"{result.exp_id}.csv"
+        with cpath.open("w", newline="") as fh:
+            csv.writer(fh).writerows(rows)
+        written.append(cpath)
+    return written

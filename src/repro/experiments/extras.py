@@ -1,0 +1,174 @@
+"""Extension experiments (beyond the paper's artefacts; DESIGN.md §7).
+
+* ``extra-comm`` — the §III-B communication characterisation in numbers;
+* ``extra-routing`` — MINIMAL/VALIANT/ADAPTIVE interference ablation;
+* ``extra-whatif`` — the §V-A delay-aware-scheduling opportunity;
+* ``extra-sysforecast`` — §V-C's closing proposal: forecast system I/O
+  and MPI load directly.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.context import get_campaign
+from repro.experiments.report import ExperimentResult, ascii_table
+
+
+def run_comm(campaign=None, fast: bool = False) -> ExperimentResult:
+    from repro.apps.characterize import characterize_all, render_profiles
+
+    profiles = characterize_all()
+    return ExperimentResult(
+        exp_id="extra-comm",
+        title="Per-application communication character (§III-B quantified)",
+        data={"profiles": profiles},
+        text=render_profiles(profiles),
+    )
+
+
+def run_routing(campaign=None, fast: bool = False) -> ExperimentResult:
+    from repro.analysis.routing_ablation import render_ablation, routing_ablation
+    from repro.topology.dragonfly import DragonflyTopology
+
+    preset = "tiny" if fast else "small"
+    topo = DragonflyTopology.from_preset(preset)
+    results = routing_ablation(
+        topo,
+        probe_nodes=24 if fast else 64,
+        background_gbps=(0.0, 100.0, 400.0, 1600.0),
+    )
+    return ExperimentResult(
+        exp_id="extra-routing",
+        title="Routing-policy ablation under an adversarial hotspot",
+        data={"results": results},
+        text=render_ablation(results),
+    )
+
+
+def run_whatif(campaign=None, fast: bool = False) -> ExperimentResult:
+    from repro.analysis.whatif import scheduling_whatif
+
+    camp = get_campaign(campaign, fast)
+    results = scheduling_whatif(camp)
+    rows = [
+        [
+            r.key,
+            r.runs_overlapped,
+            r.runs_clean,
+            f"{r.saving_fraction:.1%}",
+            f"{r.net_saving_fraction:.1%}",
+            f"{r.aggressor_time_correlation:+.2f}",
+        ]
+        for r in results
+    ]
+    text = ascii_table(
+        ["dataset", "heavy runs", "light runs", "saving", "net", "corr"], rows
+    )
+    if results:
+        text += f"\n\nidentified aggressors: {', '.join(results[0].aggressors)}"
+    return ExperimentResult(
+        exp_id="extra-whatif",
+        title="Delay-aware scheduling what-if (§V-A's proposal)",
+        data={"results": results},
+        text=text,
+    )
+
+
+def run_placement(campaign=None, fast: bool = False) -> ExperimentResult:
+    from repro.analysis.placement_study import placement_study, render_placement_study
+    from repro.topology.dragonfly import DragonflyTopology
+
+    preset = "tiny" if fast else "small"
+    topo = DragonflyTopology.from_preset(preset)
+    study = placement_study(
+        topo,
+        probe_nodes=16 if fast else 64,
+        background_nodes=60 if fast else 512,
+        trials_per_policy=3 if fast else 6,
+    )
+    return ExperimentResult(
+        exp_id="extra-placement",
+        title="Placement-policy study: the cost of fragmentation",
+        data={"study": study},
+        text=render_placement_study(study),
+    )
+
+
+def run_contention(campaign=None, fast: bool = False) -> ExperimentResult:
+    import numpy as np
+
+    from repro.network.contention_map import contention_map, render_contention
+    from repro.network.engine import CongestionEngine
+    from repro.network.traffic import FlowSet, router_alltoall_flows
+    from repro.topology.dragonfly import DragonflyTopology
+    from repro.topology.placement import AllocationPolicy, allocate
+
+    preset = "tiny" if fast else "small"
+    topo = DragonflyTopology.from_preset(preset)
+    engine = CongestionEngine(topo)
+    rng = np.random.default_rng(0)
+    free = topo.compute_nodes
+    probe_nodes = allocate(topo, free, 16 if fast else 64, AllocationPolicy.RANDOM, rng)
+    tenants = {
+        "probe": engine.route(
+            router_alltoall_flows(topo, probe_nodes, 10e9)
+        ),
+    }
+    rpg = topo.routers_per_group
+    src = np.arange(rpg)
+    tenants["hotspot-job"] = engine.route(
+        FlowSet(src, src + 2 * rpg, np.full(rpg, 8e9))
+    )
+    remaining = np.setdiff1d(free, probe_nodes)
+    bg_nodes = allocate(topo, remaining, 48 if fast else 256, AllocationPolicy.RANDOM, rng)
+    from repro.network.traffic import uniform_random_flows
+
+    tenants["mixed-bg"] = engine.route(
+        uniform_random_flows(topo, bg_nodes, 5e8, rng, fanout=3)
+    )
+    cmap = contention_map(topo, engine, tenants, top_n=10)
+    return ExperimentResult(
+        exp_id="extra-contention",
+        title="Link-level contention attribution (who owns the hot queues)",
+        data={"map": cmap},
+        text=render_contention(cmap),
+    )
+
+
+def run_sysforecast(campaign=None, fast: bool = False) -> ExperimentResult:
+    from repro.analysis.system_state import forecast_system_channel
+    from repro.ml.attention import AttentionForecaster
+
+    camp = get_campaign(campaign, fast)
+    ds = camp["MILC-128"]
+    m, k = (5, 10) if ds.num_steps < 40 else (10, 20)
+
+    def factory(seed):
+        epochs = 50 if fast else 120
+        return AttentionForecaster(d_model=16, hidden=32, epochs=epochs, seed=seed)
+
+    rows = []
+    results = {}
+    for channel in ("IO_PT_FLIT_TOT", "SYS_RT_FLIT_TOT", "SYS_RT_RB_STL"):
+        res = forecast_system_channel(
+            ds, channel=channel, m=m, k=k, model_factory=factory
+        )
+        results[channel] = res
+        rows.append(
+            [
+                channel,
+                f"{res.mape:.2f}%",
+                f"{res.persistence_mape:.2f}%",
+                "yes" if res.beats_persistence else "no",
+                f"{res.r2:+.2f}",
+            ]
+        )
+    text = ascii_table(
+        ["system channel", "model MAPE", "persistence MAPE", "beats it?", "R2"],
+        rows,
+    )
+    return ExperimentResult(
+        exp_id="extra-sysforecast",
+        title="Forecasting system state itself (§V-C closing proposal)",
+        data={"results": results, "m": m, "k": k},
+        text=text,
+    )

@@ -1,0 +1,54 @@
+"""Fig. 1: relative performance of the four 128-node apps over the campaign.
+
+The paper plots each run's total time divided by the best observed run of
+the same application, against the calendar date — up to ~3x for MILC/
+miniVite/UMT.  We report the same series plus summary statistics.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.campaign.datasets import seconds_to_date
+from repro.experiments.context import get_campaign
+from repro.experiments.report import ExperimentResult, ascii_series, ascii_table
+
+APPS = ["AMG-128", "MILC-128", "miniVite-128", "UMT-128"]
+
+
+def run(campaign=None, fast: bool = False) -> ExperimentResult:
+    camp = get_campaign(campaign, fast)
+    series: dict[str, dict[str, np.ndarray]] = {}
+    rows = []
+    blocks = []
+    for key in APPS:
+        ds = camp[key]
+        if len(ds) < 2:
+            continue
+        order = np.argsort(ds.start_times)
+        t = ds.start_times[order]
+        rel = ds.relative_performance()[order]
+        series[key] = {"time": t, "relative": rel}
+        rows.append(
+            [
+                key,
+                len(ds),
+                f"{rel.max():.2f}x",
+                f"{np.median(rel):.2f}x",
+                seconds_to_date(t[int(np.argmax(rel))]).strftime("%b %d"),
+            ]
+        )
+        blocks.append(ascii_series(t, rel, label=f"{key} relative performance"))
+    text = (
+        ascii_table(
+            ["Dataset", "Runs", "Worst/best", "Median", "Worst run date"], rows
+        )
+        + "\n\n"
+        + "\n\n".join(blocks)
+    )
+    return ExperimentResult(
+        exp_id="fig01",
+        title="Relative performance vs best run over the campaign (Fig. 1)",
+        data={"series": series, "rows": rows},
+        text=text,
+    )

@@ -1,0 +1,50 @@
+"""Fig. 3: mean time-per-step behaviour of each application across runs.
+
+Shape targets: AMG 128 faster than 512 with similar trends; MILC's first
+20 warmup steps much faster than the next 60; miniVite ~6 long steps; UMT
+7 steps with a mild ramp.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.registry import DATASET_KEYS
+from repro.experiments.context import get_campaign
+from repro.experiments.report import ExperimentResult, ascii_series, ascii_table
+
+
+def run(campaign=None, fast: bool = False) -> ExperimentResult:
+    camp = get_campaign(campaign, fast)
+    trends: dict[str, np.ndarray] = {}
+    rows = []
+    blocks = []
+    for key in DATASET_KEYS:
+        ds = camp[key]
+        if len(ds) == 0:
+            continue
+        _, ym = ds.mean_trends()
+        trends[key] = ym
+        rows.append(
+            [
+                key,
+                len(ym),
+                f"{ym.mean():.2f}",
+                f"{ym.min():.2f}",
+                f"{ym.max():.2f}",
+            ]
+        )
+        blocks.append(
+            ascii_series(np.arange(len(ym)), ym, label=f"{key} mean time/step (s)")
+        )
+    text = (
+        ascii_table(["Dataset", "Steps", "Mean (s)", "Min (s)", "Max (s)"], rows)
+        + "\n\n"
+        + "\n\n".join(blocks)
+    )
+    return ExperimentResult(
+        exp_id="fig03",
+        title="Mean time-per-step behaviour (Fig. 3)",
+        data={"trends": trends},
+        text=text,
+    )

@@ -1,0 +1,23 @@
+"""Fig. 4: compute/MPI split and MPI routine breakdown, AMG & MILC @512.
+
+Shape targets: AMG ~82% MPI at 512 nodes dominated by Iprobe/Test/
+Testall/Waitall/Allreduce; MILC ~89% MPI dominated by Allreduce/Wait/
+Isend/Irecv; large best-to-worst spread in MPI time, stable compute time.
+"""
+
+from __future__ import annotations
+
+from repro.experiments._mpi_breakdown import run_breakdowns
+from repro.experiments.context import get_campaign
+from repro.experiments.report import ExperimentResult
+
+
+def run(campaign=None, fast: bool = False) -> ExperimentResult:
+    camp = get_campaign(campaign, fast)
+    data, text = run_breakdowns(camp, ["AMG-512", "MILC-512"])
+    return ExperimentResult(
+        exp_id="fig04",
+        title="Compute/MPI split and routine breakdown, AMG & MILC @512 (Fig. 4)",
+        data=data,
+        text=text,
+    )

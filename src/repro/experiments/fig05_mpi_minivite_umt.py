@@ -1,0 +1,22 @@
+"""Fig. 5: compute/MPI split and routine breakdown, miniVite & UMT @128.
+
+Shape targets: miniVite >98% MPI, almost all in Waitall; UMT ~30% MPI
+concentrated in Wait/Barrier/Allreduce with high worst/best spread.
+"""
+
+from __future__ import annotations
+
+from repro.experiments._mpi_breakdown import run_breakdowns
+from repro.experiments.context import get_campaign
+from repro.experiments.report import ExperimentResult
+
+
+def run(campaign=None, fast: bool = False) -> ExperimentResult:
+    camp = get_campaign(campaign, fast)
+    data, text = run_breakdowns(camp, ["miniVite-128", "UMT-128"])
+    return ExperimentResult(
+        exp_id="fig05",
+        title="Compute/MPI split and routine breakdown, miniVite & UMT @128 (Fig. 5)",
+        data=data,
+        text=text,
+    )

@@ -1,0 +1,34 @@
+"""Fig. 8: forecasting MAPE for AMG, m = {3, 8}, k = {5, 10}.
+
+Feature tiers: app counters only, and app + placement (the paper skips
+io/sys for AMG — they caused overfitting, §V-C).
+
+Shape targets: longer temporal context (m=8) lowers MAPE; larger horizon
+(k=10) lowers MAPE (bursts amortise); placement features add little;
+512-node errors slightly above 128-node ones.
+"""
+
+from __future__ import annotations
+
+from repro.experiments._forecast_common import forecast_grid, grid_summary
+from repro.experiments.context import get_campaign
+from repro.experiments.report import ExperimentResult
+
+
+def run(campaign=None, fast: bool = False) -> ExperimentResult:
+    camp = get_campaign(campaign, fast)
+    data, text = forecast_grid(
+        camp,
+        keys=["AMG-128", "AMG-512"],
+        ms=[3, 8],
+        ks=[5, 10],
+        tiers=["app", "app+placement"],
+        fast=fast,
+    )
+    summary = grid_summary(data)
+    return ExperimentResult(
+        exp_id="fig08",
+        title="Forecasting MAPE for AMG datasets (Fig. 8)",
+        data={"grid": data, "summary": summary},
+        text=text,
+    )

@@ -1,0 +1,55 @@
+"""Fig. 9: RFE relevance scores of each counter per dataset.
+
+Shape targets (paper §V-B):
+
+* RT_RB_STL highly relevant for both MILC datasets and AMG-512;
+* PT_RB_STL_RQ / PT_RB_2X_USG relevant for AMG (endpoint congestion);
+* PT_RB_STL_RQ the most significant counter for UMT;
+* flit counters (PT_FLIT_VC0, RT_FLIT_TOT) most important for miniVite;
+* prediction MAPE < 5% for every dataset.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.analysis.deviation import deviation_analysis
+from repro.apps.registry import DATASET_KEYS
+from repro.experiments.context import get_campaign
+from repro.experiments.report import ExperimentResult, ascii_heatmap, ascii_table
+from repro.network.counters import APP_COUNTERS
+
+
+def run(campaign=None, fast: bool = False) -> ExperimentResult:
+    camp = get_campaign(campaign, fast)
+    keys = [k for k in DATASET_KEYS if k in camp.keys() and len(camp[k]) >= 4]
+    n_splits = 4 if fast else 10
+    max_samples = 600 if fast else 2500
+    matrix = []
+    mape_rows = []
+    results = {}
+    for key in keys:
+        res = deviation_analysis(
+            camp[key], n_splits=min(n_splits, len(camp[key])), max_samples=max_samples
+        )
+        results[key] = res
+        matrix.append(res.relevance.scores)
+        mape_rows.append([key, f"{res.prediction_mape:.2f}%", ", ".join(res.top_counters(3))])
+    matrix = np.asarray(matrix)
+    text = (
+        ascii_heatmap(keys, APP_COUNTERS, matrix)
+        + "\n\n"
+        + ascii_table(["Dataset", "Prediction MAPE", "Top counters"], mape_rows)
+    )
+    return ExperimentResult(
+        exp_id="fig09",
+        title="Counter relevance for deviation prediction (Fig. 9)",
+        data={
+            "keys": keys,
+            "counters": APP_COUNTERS,
+            "scores": matrix,
+            "mape": {k: results[k].prediction_mape for k in keys},
+            "top": {k: results[k].top_counters(4) for k in keys},
+        },
+        text=text,
+    )

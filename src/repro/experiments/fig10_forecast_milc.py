@@ -1,0 +1,36 @@
+"""Fig. 10: forecasting MAPE for MILC, m = {10, 30}, k = {20, 40}.
+
+All four feature tiers.  Shape targets: larger m and k lower MAPE; adding
+io and then sys features successively improves MILC's forecasts
+(bandwidth-bound code, sensitive to system-wide I/O traffic, §V-C).
+"""
+
+from __future__ import annotations
+
+from repro.experiments._forecast_common import forecast_grid, grid_summary
+from repro.experiments.context import get_campaign
+from repro.experiments.report import ExperimentResult
+
+
+def run(campaign=None, fast: bool = False) -> ExperimentResult:
+    camp = get_campaign(campaign, fast)
+    data, text = forecast_grid(
+        camp,
+        keys=["MILC-128", "MILC-512"],
+        ms=[10, 30],
+        ks=[20, 40],
+        tiers=[
+            "app",
+            "app+placement",
+            "app+placement+io",
+            "app+placement+io+sys",
+        ],
+        fast=fast,
+    )
+    summary = grid_summary(data)
+    return ExperimentResult(
+        exp_id="fig10",
+        title="Forecasting MAPE for MILC datasets (Fig. 10)",
+        data={"grid": data, "summary": summary},
+        text=text,
+    )

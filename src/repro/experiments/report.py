@@ -1,0 +1,93 @@
+"""ASCII rendering for experiment results (tables, series, heatmaps)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment driver."""
+
+    exp_id: str
+    title: str
+    #: Structured payload, experiment-specific.
+    data: dict = field(default_factory=dict)
+    #: Rendered report.
+    text: str = ""
+
+    def render(self) -> str:
+        header = f"== {self.exp_id}: {self.title} =="
+        return f"{header}\n{self.text}"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+
+def ascii_table(headers: list[str], rows: list[list[object]]) -> str:
+    """Monospace table with padded columns."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+    lines = []
+    for j, row in enumerate(cells):
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+        if j == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def ascii_series(
+    x: np.ndarray, y: np.ndarray, width: int = 60, height: int = 12, label: str = ""
+) -> str:
+    """A crude line plot for terminal output."""
+    x = np.asarray(x, dtype=float)
+    y = np.asarray(y, dtype=float)
+    if len(x) != len(y) or len(x) == 0:
+        raise ValueError("x and y must be equal-length and non-empty")
+    lo, hi = float(y.min()), float(y.max())
+    span = hi - lo if hi > lo else 1.0
+    cols = np.clip(
+        ((x - x.min()) / max(x.max() - x.min(), 1e-12) * (width - 1)).astype(int),
+        0,
+        width - 1,
+    )
+    rows = np.clip(((y - lo) / span * (height - 1)).astype(int), 0, height - 1)
+    grid = [[" "] * width for _ in range(height)]
+    for c, r in zip(cols, rows):
+        grid[height - 1 - r][c] = "*"
+    out = [f"{label} [{lo:.3g} .. {hi:.3g}]"] if label else []
+    out += ["|" + "".join(row) for row in grid]
+    out.append("+" + "-" * width)
+    return "\n".join(out)
+
+
+def ascii_bars(
+    labels: list[str], values: np.ndarray, width: int = 40, fmt: str = "{:.2f}"
+) -> str:
+    """Horizontal bar chart."""
+    values = np.asarray(values, dtype=float)
+    if len(labels) != len(values):
+        raise ValueError("labels and values must align")
+    vmax = float(values.max()) if len(values) and values.max() > 0 else 1.0
+    wl = max(len(s) for s in labels) if labels else 0
+    lines = []
+    for lab, v in zip(labels, values):
+        n = int(round(v / vmax * width))
+        lines.append(f"{lab.ljust(wl)} |{'#' * n}{' ' * (width - n)}| {fmt.format(v)}")
+    return "\n".join(lines)
+
+
+def ascii_heatmap(
+    row_labels: list[str], col_labels: list[str], matrix: np.ndarray
+) -> str:
+    """Value-grid rendering used for the Fig. 9 / Fig. 11 matrices."""
+    matrix = np.asarray(matrix, dtype=float)
+    if matrix.shape != (len(row_labels), len(col_labels)):
+        raise ValueError("matrix shape must match labels")
+    headers = ["" ] + list(col_labels)
+    rows = []
+    for lab, row in zip(row_labels, matrix):
+        rows.append([lab] + [f"{v:.2f}" for v in row])
+    return ascii_table(headers, rows)

@@ -1,0 +1,23 @@
+"""Table I: application versions and their inputs."""
+
+from __future__ import annotations
+
+from repro.apps.registry import DATASET_KEYS, get_application
+from repro.experiments.report import ExperimentResult, ascii_table
+
+
+def run(campaign=None, fast: bool = False) -> ExperimentResult:
+    rows = []
+    for key in DATASET_KEYS:
+        app = get_application(key)
+        name, version, nodes, params = app.table1_row()
+        rows.append([name, version, nodes, params])
+    text = ascii_table(
+        ["Application", "Version", "No. of Nodes", "Input Parameters"], rows
+    )
+    return ExperimentResult(
+        exp_id="table01",
+        title="Application versions and their inputs (Table I)",
+        data={"rows": rows},
+        text=text,
+    )

@@ -1,0 +1,20 @@
+"""Table II: the network hardware performance counters of the study."""
+
+from __future__ import annotations
+
+from repro.experiments.report import ExperimentResult, ascii_table
+from repro.network.counters import COUNTER_SPECS
+
+
+def run(campaign=None, fast: bool = False) -> ExperimentResult:
+    rows = [
+        [s.name, s.abbreviation, s.description]
+        for s in COUNTER_SPECS
+    ]
+    text = ascii_table(["Counter name", "Abbreviation", "Description"], rows)
+    return ExperimentResult(
+        exp_id="table02",
+        title="Network hardware performance counters (Table II)",
+        data={"rows": rows},
+        text=text,
+    )

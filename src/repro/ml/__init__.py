@@ -1,0 +1,47 @@
+"""From-scratch ML substrate (no sklearn/torch in the environment).
+
+Implements exactly what the paper's pipelines need:
+
+* :mod:`~repro.ml.tree` / :mod:`~repro.ml.gbr` — histogram decision trees
+  and gradient boosted regression (Friedman 2001), used by the deviation
+  models (§IV-B);
+* :mod:`~repro.ml.rfe` — recursive feature elimination with cross-
+  validated relevance scores (Fig. 9);
+* :mod:`~repro.ml.mi` — mutual information for the neighbourhood analysis
+  (§IV-A, Table III);
+* :mod:`~repro.ml.attention` — the scalar dot-product attention + MLP
+  forecaster (§IV-C, Vaswani et al. 2017), trained with Adam
+  (:mod:`~repro.ml.nn`);
+* metrics, scalers and CV splitters.
+"""
+
+from repro.ml.attention import AttentionForecaster
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.gbr import GradientBoostedRegressor
+from repro.ml.linear import RidgeRegressor
+from repro.ml.metrics import mae, mape, r2_score, rmse
+from repro.ml.mi import mutual_information_binary, mutual_information_discrete
+from repro.ml.model_selection import GroupKFold, KFold, train_test_split
+from repro.ml.rfe import RFE, relevance_scores
+from repro.ml.scaling import StandardScaler
+from repro.ml.tree import DecisionTreeRegressor
+
+__all__ = [
+    "AttentionForecaster",
+    "GradientBoostedRegressor",
+    "RandomForestRegressor",
+    "RidgeRegressor",
+    "DecisionTreeRegressor",
+    "RFE",
+    "relevance_scores",
+    "mutual_information_binary",
+    "mutual_information_discrete",
+    "mape",
+    "mae",
+    "rmse",
+    "r2_score",
+    "KFold",
+    "GroupKFold",
+    "train_test_split",
+    "StandardScaler",
+]

@@ -1,0 +1,107 @@
+"""Model diagnostics: residuals, learning curves, calibration.
+
+Tools an operator would use before trusting the forecaster with
+scheduling decisions (the paper's intended deployment): is the model
+biased in some regime, how much data does it need, and do its errors
+concentrate where the system is busiest?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ml.metrics import mae, mape, r2_score
+
+
+@dataclass
+class ResidualReport:
+    """Residual structure of a fitted regressor on held-out data."""
+
+    mean_error: float
+    mae: float
+    mape: float
+    r2: float
+    #: Pearson correlation of |residual| with the target magnitude —
+    #: positive means errors grow where the system is slow (heteroscedastic).
+    error_vs_level: float
+    #: Residual quantiles (5%, 25%, 50%, 75%, 95%).
+    quantiles: np.ndarray
+
+    def is_unbiased(self, tol_fraction: float = 0.05) -> bool:
+        """Mean error within ``tol_fraction`` of the target scale."""
+        scale = max(abs(self.quantiles[-1] - self.quantiles[0]), 1e-12)
+        return abs(self.mean_error) <= tol_fraction * scale
+
+
+def residual_report(y_true: np.ndarray, y_pred: np.ndarray) -> ResidualReport:
+    """Summarise prediction residuals."""
+    y_true = np.asarray(y_true, dtype=np.float64).ravel()
+    y_pred = np.asarray(y_pred, dtype=np.float64).ravel()
+    if y_true.shape != y_pred.shape or len(y_true) == 0:
+        raise ValueError("y_true and y_pred must be equal-length, non-empty")
+    resid = y_pred - y_true
+    if len(y_true) >= 3 and np.std(np.abs(resid)) > 0 and np.std(y_true) > 0:
+        corr = float(np.corrcoef(np.abs(resid), y_true)[0, 1])
+    else:
+        corr = 0.0
+    return ResidualReport(
+        mean_error=float(resid.mean()),
+        mae=mae(y_true, y_pred),
+        mape=mape(y_true, y_pred),
+        r2=r2_score(y_true, y_pred),
+        error_vs_level=corr,
+        quantiles=np.quantile(resid, [0.05, 0.25, 0.5, 0.75, 0.95]),
+    )
+
+
+def learning_curve(
+    model_factory,
+    x: np.ndarray,
+    y: np.ndarray,
+    fractions: tuple[float, ...] = (0.25, 0.5, 0.75, 1.0),
+    test_fraction: float = 0.25,
+    seed: int = 0,
+) -> list[tuple[int, float]]:
+    """(train size, held-out MAPE) along growing training subsets.
+
+    Answers the operator's question: how many historical runs before the
+    forecaster is worth deploying?
+    """
+    x = np.asarray(x)
+    y = np.asarray(y, dtype=np.float64)
+    n = len(x)
+    if n < 8:
+        raise ValueError("need at least 8 samples")
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(n)
+    n_test = max(2, int(round(test_fraction * n)))
+    test = perm[:n_test]
+    pool = perm[n_test:]
+    out: list[tuple[int, float]] = []
+    for frac in fractions:
+        k = max(2, int(round(frac * len(pool))))
+        train = pool[:k]
+        model = model_factory(seed)
+        model.fit(x[train], y[train])
+        out.append((k, mape(y[test], model.predict(x[test]))))
+    return out
+
+
+def interval_coverage(
+    y_true: np.ndarray,
+    y_pred: np.ndarray,
+    width_fraction: float = 0.1,
+) -> float:
+    """Fraction of truths inside ``y_pred * (1 +/- width_fraction)``.
+
+    A crude calibration check for percentage-style error bars.
+    """
+    y_true = np.asarray(y_true, dtype=np.float64).ravel()
+    y_pred = np.asarray(y_pred, dtype=np.float64).ravel()
+    if y_true.shape != y_pred.shape or len(y_true) == 0:
+        raise ValueError("y_true and y_pred must be equal-length, non-empty")
+    lo = y_pred * (1 - width_fraction)
+    hi = y_pred * (1 + width_fraction)
+    return float(np.mean((y_true >= np.minimum(lo, hi)) & (y_true <= np.maximum(lo, hi))))

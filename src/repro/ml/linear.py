@@ -1,0 +1,74 @@
+"""Ridge regression (closed form) — the related-work baseline.
+
+Groves et al. (CLUSTER'17) correlated Aries counters with network
+benchmarks using *simple linear regression*; the paper positions its
+GBR/attention models against exactly that lineage.  A from-scratch ridge
+regressor keeps the comparison honest and gives the library a fast,
+well-understood baseline.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.ml.scaling import StandardScaler
+
+
+class RidgeRegressor:
+    """L2-regularised linear regression, solved in closed form."""
+
+    def __init__(self, alpha: float = 1.0) -> None:
+        if alpha < 0:
+            raise ValueError("alpha must be non-negative")
+        self.alpha = alpha
+        self.coef_: np.ndarray | None = None
+        self.intercept_: float = 0.0
+        self._scaler: StandardScaler | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RidgeRegressor":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if x.ndim != 2 or len(x) != len(y):
+            raise ValueError("x must be (n, h) with matching y")
+        self._scaler = StandardScaler().fit(x)
+        xs = self._scaler.transform(x)
+        y_mean = y.mean()
+        yc = y - y_mean
+        h = xs.shape[1]
+        gram = xs.T @ xs + self.alpha * np.eye(h)
+        self.coef_ = np.linalg.solve(gram, xs.T @ yc)
+        self.intercept_ = float(y_mean)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self.coef_ is None or self._scaler is None:
+            raise RuntimeError("model is not fitted")
+        xs = self._scaler.transform(np.asarray(x, dtype=np.float64))
+        return xs @ self.coef_ + self.intercept_
+
+    @property
+    def feature_importances_(self) -> np.ndarray:
+        """|standardised coefficient| shares (sums to 1)."""
+        if self.coef_ is None:
+            raise RuntimeError("model is not fitted")
+        mag = np.abs(self.coef_)
+        s = mag.sum()
+        return mag / s if s > 0 else mag
+
+
+class RidgeForecaster:
+    """Ridge over flattened (m, H) windows — the linear forecaster."""
+
+    def __init__(self, alpha: float = 10.0) -> None:
+        self._ridge = RidgeRegressor(alpha=alpha)
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "RidgeForecaster":
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 3:
+            raise ValueError("x must be (n, m, H) windows")
+        self._ridge.fit(x.reshape(len(x), -1), y)
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        x = np.asarray(x, dtype=np.float64)
+        return self._ridge.predict(x.reshape(len(x), -1))

@@ -1,0 +1,76 @@
+"""Minimal neural-network primitives: parameters, Adam, activations.
+
+Just enough machinery for the attention forecaster — explicit forward and
+backward passes in NumPy, no autograd.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class Adam:
+    """Adam optimiser over a dict of named parameter arrays."""
+
+    def __init__(
+        self,
+        params: dict[str, np.ndarray],
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ) -> None:
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        self.params = params
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._m = {k: np.zeros_like(v) for k, v in params.items()}
+        self._v = {k: np.zeros_like(v) for k, v in params.items()}
+        self._t = 0
+
+    def step(self, grads: dict[str, np.ndarray]) -> None:
+        """Apply one update; ``grads`` keys must match the parameters."""
+        self._t += 1
+        b1, b2 = self.beta1, self.beta2
+        for k, g in grads.items():
+            p = self.params[k]
+            m = self._m[k]
+            v = self._v[k]
+            m *= b1
+            m += (1 - b1) * g
+            v *= b2
+            v += (1 - b2) * g * g
+            m_hat = m / (1 - b1**self._t)
+            v_hat = v / (1 - b2**self._t)
+            p -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def relu_grad(x: np.ndarray) -> np.ndarray:
+    return (x > 0).astype(x.dtype)
+
+
+def softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Numerically stable softmax."""
+    z = x - x.max(axis=axis, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=axis, keepdims=True)
+
+
+def softmax_backward(a: np.ndarray, grad: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Backward through softmax given its output ``a`` and upstream grad."""
+    inner = (grad * a).sum(axis=axis, keepdims=True)
+    return a * (grad - inner)
+
+
+def glorot(rng: np.random.Generator, shape: tuple[int, ...]) -> np.ndarray:
+    """Glorot/Xavier uniform initialisation."""
+    fan_in, fan_out = shape[0], shape[-1]
+    limit = np.sqrt(6.0 / (fan_in + fan_out))
+    return rng.uniform(-limit, limit, size=shape)

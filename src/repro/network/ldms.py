@@ -1,0 +1,76 @@
+"""LDMS-style system-wide counter sampling (paper §III-C).
+
+Cori runs the Lightweight Distributed Metric Service, sampling every Aries
+router once per second (~5 TB/day).  The paper derives two feature groups
+from it for the forecasting ablations (§V-C):
+
+``io``
+    Counters aggregated over routers attached to I/O (LNET) nodes — a proxy
+    for filesystem traffic on the network.
+``sys``
+    Counters aggregated over routers sharing *no* nodes with our job — a
+    proxy for everything else happening on the machine.
+
+This sampler produces exactly those aggregates from a solved network state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.network.counters import synthesize_router_counters
+from repro.network.engine import NetworkState
+from repro.topology.dragonfly import DragonflyTopology
+
+
+class LDMSSampler:
+    """Aggregates system-wide router counters by node role."""
+
+    def __init__(self, topology: DragonflyTopology) -> None:
+        self.topology = topology
+
+    def sample(
+        self,
+        state: NetworkState,
+        job_routers: np.ndarray,
+        duration: float,
+        rng: np.random.Generator | None = None,
+        noise: float = 0.02,
+        router_rates: dict[str, np.ndarray] | None = None,
+    ) -> dict[str, float]:
+        """io/sys counter deltas for one interval.
+
+        Parameters
+        ----------
+        state:
+            Solved network condition for the interval.
+        job_routers:
+            Routers attached to *our* job's nodes (excluded from ``sys``).
+        duration:
+            Interval length in seconds.
+        rng, noise:
+            Optional multiplicative measurement jitter.
+        router_rates:
+            Pre-synthesised per-router rates (pass to avoid recomputing
+            when the caller also collects job-local counters).
+        """
+        topo = self.topology
+        if router_rates is None:
+            router_rates = synthesize_router_counters(state)
+
+        io_mask = topo.io_router_mask
+        sys_mask = np.ones(topo.num_routers, dtype=bool)
+        sys_mask[np.asarray(job_routers)] = False
+        sys_mask &= ~io_mask  # io routers are reported in the io group
+
+        out: dict[str, float] = {}
+        for short in ("RT_FLIT_TOT", "RT_RB_STL", "PT_FLIT_TOT", "PT_PKT_TOT"):
+            rates = router_rates[short]
+            io_val = float(rates[io_mask].sum()) * duration
+            sys_val = float(rates[sys_mask].sum()) * duration
+            if rng is not None and noise > 0:
+                io_val *= float(rng.lognormal(0.0, noise))
+                sys_val *= float(rng.lognormal(0.0, noise))
+            out[f"IO_{short}"] = io_val
+            out[f"SYS_{short}"] = sys_val
+        return out

@@ -1,0 +1,25 @@
+"""The shared-machine substrate: users, background jobs, scheduler.
+
+The paper's probe jobs ran in Cori's *production* queue for four months,
+sharing the network with thousands of jobs from other users (§III).  This
+subpackage reproduces that environment: a user population with application
+archetypes (including the ground-truth aggressors §V-A identifies — a
+HipMer-like genome assembler, an E3SM-like climate code, a FastPM-like
+N-body solver, material-science codes), a Poisson arrival process, and a
+FCFS-with-backfill scheduler that hands out fragmented placements.
+"""
+
+from repro.system.jobs import JobRecord, JobRequest
+from repro.system.scheduler import Scheduler, SchedulerResult
+from repro.system.users import UserArchetype, UserPopulation
+from repro.system.workload import BackgroundWorkloadGenerator
+
+__all__ = [
+    "JobRecord",
+    "JobRequest",
+    "Scheduler",
+    "SchedulerResult",
+    "UserArchetype",
+    "UserPopulation",
+    "BackgroundWorkloadGenerator",
+]

@@ -1,0 +1,219 @@
+"""A Slurm-like batch scheduler: FCFS with opportunistic backfill.
+
+Produces the two artefacts the paper mines from Slurm (§III-C):
+
+* per-job placements (node lists), from which NUM_ROUTERS / NUM_GROUPS
+  derive, handed out by a fragmenting allocation policy as on busy Cori;
+* the job log (``sacct`` equivalent), from which the neighbourhood
+  analysis derives concurrently-running users.
+
+The simulation is event-driven: submissions and completions are the only
+events, and pending jobs start as soon as they fit (jobs that fit earlier
+than the queue head may jump it — opportunistic backfill without
+reservations, a reasonable stand-in for Slurm's EASY backfill).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.system.jobs import JobRecord, JobRequest
+from repro.topology.dragonfly import DragonflyTopology
+from repro.topology.placement import AllocationPolicy, allocate
+
+
+@dataclass
+class SchedulerResult:
+    """All scheduled jobs plus queries the analyses need."""
+
+    jobs: list[JobRecord]
+    #: Requests that could not be scheduled inside the horizon.
+    unscheduled: list[JobRequest] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.jobs.sort(key=lambda j: j.start_time)
+        self._starts = np.array([j.start_time for j in self.jobs])
+        self._ends = np.array([j.end_time for j in self.jobs])
+
+    def running_at(self, t: float) -> list[JobRecord]:
+        """Jobs running at instant ``t``."""
+        mask = (self._starts <= t) & (self._ends > t)
+        return [self.jobs[i] for i in np.flatnonzero(mask)]
+
+    def overlapping(
+        self, start: float, end: float, min_nodes: int = 0
+    ) -> list[JobRecord]:
+        """Jobs overlapping [start, end), optionally size-filtered."""
+        mask = (self._starts < end) & (self._ends > start)
+        out = [self.jobs[i] for i in np.flatnonzero(mask)]
+        if min_nodes:
+            out = [j for j in out if j.num_nodes >= min_nodes]
+        return out
+
+    def probes(self) -> list[JobRecord]:
+        """Our instrumented probe jobs, in start order."""
+        return [j for j in self.jobs if j.is_probe]
+
+    def utilisation(self, t: float, total_nodes: int) -> float:
+        """Fraction of compute nodes busy at instant ``t``."""
+        busy = sum(j.num_nodes for j in self.running_at(t))
+        return busy / total_nodes
+
+
+class Scheduler:
+    """Event-driven FCFS + backfill over one topology's compute nodes."""
+
+    def __init__(
+        self,
+        topology: DragonflyTopology,
+        policy: AllocationPolicy = AllocationPolicy.CLUSTERED,
+        rng: np.random.Generator | None = None,
+        horizon: float | None = None,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        topology:
+            Supplies the compute-node pool.
+        policy:
+            Node-allocation flavour (fragmentation knob).
+        rng:
+            Randomness for the allocation policy.
+        horizon:
+            Latest time a job may *start*; pending jobs beyond it are
+            reported as unscheduled.  ``None`` = unbounded.
+        """
+        self.topology = topology
+        self.policy = policy
+        self.rng = rng or np.random.default_rng(0)
+        self.horizon = horizon
+
+    @staticmethod
+    def _reservation(
+        head: JobRequest,
+        free_mask: np.ndarray,
+        completions: list[tuple[float, int]],
+        jobs: list[JobRecord],
+        now: float,
+    ) -> tuple[float, int]:
+        """EASY reservation for a blocked queue head.
+
+        Returns ``(shadow_time, extra_nodes)``: the earliest instant the
+        head can have its nodes, and how many nodes will remain free at
+        that instant beyond the head's need (usable by backfill jobs of any
+        duration).
+        """
+        free_now = int(free_mask.sum())
+        need = head.num_nodes - free_now
+        if need <= 0:  # pragma: no cover - head would have started
+            return now, free_now - head.num_nodes
+        avail = free_now
+        for end_time, ji in sorted(completions):
+            avail += len(jobs[ji].nodes)
+            if avail >= head.num_nodes:
+                return end_time, avail - head.num_nodes
+        return np.inf, 0
+
+    def schedule(self, requests: list[JobRequest]) -> SchedulerResult:
+        """Run the queue simulation over all requests."""
+        topo = self.topology
+        total = len(topo.compute_nodes)
+        free_mask = np.zeros(topo.num_nodes, dtype=bool)
+        free_mask[topo.compute_nodes] = True
+
+        pending: list[JobRequest] = []
+        jobs: list[JobRecord] = []
+        unscheduled: list[JobRequest] = []
+        completions: list[tuple[float, int]] = []  # (end_time, job index)
+        next_id = 1
+
+        requests = sorted(requests, key=lambda r: r.submit_time)
+        ri = 0
+        now = requests[0].submit_time if requests else 0.0
+
+        def try_start(req: JobRequest, at: float) -> bool:
+            nonlocal next_id
+            if req.num_nodes > total:
+                unscheduled.append(req)
+                return True  # drop: can never run
+            free_nodes = np.flatnonzero(free_mask)
+            if len(free_nodes) < req.num_nodes:
+                return False
+            nodes = allocate(topo, free_nodes, req.num_nodes, self.policy, self.rng)
+            free_mask[nodes] = False
+            rec = JobRecord(
+                job_id=next_id,
+                request=req,
+                start_time=at,
+                end_time=at + req.duration,
+                nodes=nodes,
+            )
+            next_id += 1
+            jobs.append(rec)
+            heapq.heappush(completions, (rec.end_time, len(jobs) - 1))
+            return True
+
+        while ri < len(requests) or pending or completions:
+            # Next event time: submission or completion.
+            t_sub = requests[ri].submit_time if ri < len(requests) else np.inf
+            t_end = completions[0][0] if completions else np.inf
+            now = min(t_sub, t_end)
+            if np.isinf(now):  # pending jobs that can never start
+                unscheduled.extend(pending)
+                break
+            # Release all completions at <= now.
+            while completions and completions[0][0] <= now:
+                _, ji = heapq.heappop(completions)
+                free_mask[jobs[ji].nodes] = True
+            # Accept all submissions at <= now.
+            while ri < len(requests) and requests[ri].submit_time <= now:
+                pending.append(requests[ri])
+                ri += 1
+            # Horizon cutoff.
+            if self.horizon is not None and now > self.horizon:
+                unscheduled.extend(pending)
+                pending = []
+                if ri < len(requests):
+                    unscheduled.extend(requests[ri:])
+                    ri = len(requests)
+                # Let running jobs finish (no more starts).
+                while completions:
+                    heapq.heappop(completions)
+                break
+            # FCFS with EASY backfill: the queue head gets a reservation at
+            # the earliest time enough nodes will be free; later jobs may
+            # jump it only if they finish before that time or fit into the
+            # nodes left over once the head starts.
+            still: list[JobRequest] = []
+            head_blocked = False
+            shadow_time = np.inf
+            extra_nodes = 0
+            for req in pending:
+                if not head_blocked:
+                    if try_start(req, now):
+                        continue
+                    head_blocked = True
+                    shadow_time, extra_nodes = self._reservation(
+                        req, free_mask, completions, jobs, now
+                    )
+                    still.append(req)
+                else:
+                    free_now = int(free_mask.sum())
+                    fits = req.num_nodes <= free_now
+                    safe = (
+                        now + req.duration <= shadow_time
+                        or req.num_nodes <= extra_nodes
+                    )
+                    if fits and safe and try_start(req, now):
+                        if req.num_nodes > extra_nodes:
+                            pass  # ended before shadow; reservation intact
+                        else:
+                            extra_nodes -= req.num_nodes
+                        continue
+                    still.append(req)
+            pending = still
+
+        return SchedulerResult(jobs=jobs, unscheduled=unscheduled)

@@ -1,0 +1,172 @@
+"""The user population and its application archetypes.
+
+Paper §V-A identifies (anonymised) users whose presence correlates with
+probe-job slowdowns, and de-anonymises several workloads:
+
+* **User-2** ran HipMer, a genome assembler that is both communication-
+  intensive and filesystem-heavy;
+* **User-8** is the study's own account — probe jobs interfere with each
+  other;
+* **User-9** ran FastPM, an N-body code with frequent ``MPI_Allreduce``
+  and burst-buffer I/O;
+* **User-11** ran E3SM climate simulations;
+* **Users 6, 10 and 14** ran material-science codes with significant MPI
+  and/or filesystem traffic.
+
+The synthetic population embeds these as *ground truth*: archetypes with
+per-node communication/IO intensities, job-size and duration
+distributions, and submission rates.  The neighbourhood analysis
+(Table III) must recover the aggressors from the campaign data alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+#: Duty cycle targets: aggressors are present intermittently — a user who
+#: is always (or never) on the machine carries no mutual information.
+
+
+@dataclass(frozen=True)
+class UserArchetype:
+    """Statistical description of one user's workload."""
+
+    user: str
+    #: Human-readable description of what the user runs (not visible to
+    #: the analyses, which only see anonymised user ids — paper §IV-A).
+    workload: str
+    #: Communication bytes/s injected per node while a job runs.
+    comm_intensity: float
+    #: Filesystem bytes/s per node (towards LNET routers).
+    io_intensity: float
+    #: Traffic pattern key: "uniform" | "alltoall" | "allreduce".
+    pattern: str
+    #: Mean jobs submitted per day.
+    jobs_per_day: float
+    #: Lognormal (mean, sigma) of job duration in seconds.
+    duration_mean: float
+    duration_sigma: float
+    #: Job size choices (nodes) and their probabilities.
+    sizes: tuple[int, ...]
+    size_probs: tuple[float, ...]
+    #: Response-VC ratio of the user's traffic.
+    response_ratio: float = 0.08
+
+    def __post_init__(self) -> None:
+        if len(self.sizes) != len(self.size_probs):
+            raise ValueError("sizes and size_probs must align")
+        if abs(sum(self.size_probs) - 1.0) > 1e-9:
+            raise ValueError("size_probs must sum to 1")
+        if self.comm_intensity < 0 or self.io_intensity < 0:
+            raise ValueError("intensities must be non-negative")
+
+    @property
+    def is_aggressor(self) -> bool:
+        """Ground-truth label: heavy enough to perturb neighbours."""
+        return self.comm_intensity >= 4e8 or self.io_intensity >= 2e8
+
+    def sample_duration(self, rng: np.random.Generator) -> float:
+        mu = np.log(self.duration_mean) - 0.5 * self.duration_sigma**2
+        return float(rng.lognormal(mu, self.duration_sigma))
+
+    def sample_size(self, rng: np.random.Generator) -> int:
+        return int(rng.choice(self.sizes, p=self.size_probs))
+
+
+def _agg(user, workload, comm, io, pattern, rate, dur, sizes, probs, rr=0.08):
+    return UserArchetype(
+        user=user,
+        workload=workload,
+        comm_intensity=comm,
+        io_intensity=io,
+        pattern=pattern,
+        jobs_per_day=rate,
+        duration_mean=dur,
+        duration_sigma=0.6,
+        sizes=sizes,
+        size_probs=probs,
+        response_ratio=rr,
+    )
+
+
+@dataclass
+class UserPopulation:
+    """All background users of the machine."""
+
+    archetypes: list[UserArchetype] = field(default_factory=list)
+
+    @classmethod
+    def cori_like(cls, node_scale: float = 1.0) -> "UserPopulation":
+        """The default population with the paper's ground-truth aggressors.
+
+        ``node_scale`` shrinks job sizes for reduced-scale systems (1.0
+        sizes jobs for the ``small`` preset's 2,880 nodes).
+        """
+
+        def s(*sizes: int) -> tuple[int, ...]:
+            return tuple(max(4, int(round(x * node_scale))) for x in sizes)
+
+        users: list[UserArchetype] = [
+            # ---- ground-truth aggressors (paper §V-A) ------------------- #
+            _agg("User-2", "HipMer genome assembly (comm + heavy I/O)",
+                 9e8, 6e8, "alltoall", 1.4, 7200, s(256, 512, 1024), (0.4, 0.4, 0.2)),
+            _agg("User-11", "E3SM climate modelling (comm heavy)",
+                 8e8, 1.5e8, "uniform", 1.2, 10800, s(256, 512), (0.6, 0.4)),
+            _agg("User-9", "FastPM N-body (Allreduce + burst-buffer I/O)",
+                 5e8, 5e8, "allreduce", 1.0, 5400, s(128, 512), (0.5, 0.5), rr=0.25),
+            _agg("User-6", "material science DFT (MPI heavy)",
+                 6e8, 1e8, "alltoall", 0.9, 7200, s(128, 256), (0.6, 0.4)),
+            _agg("User-10", "material science MD (MPI heavy)",
+                 5.5e8, 1.2e8, "uniform", 0.9, 9000, s(128, 256, 512), (0.5, 0.3, 0.2)),
+            _agg("User-14", "material science (MPI + filesystem)",
+                 5e8, 2.5e8, "uniform", 0.8, 7200, s(128, 256), (0.5, 0.5)),
+            # ---- moderate users (appear in 1-2 Table III lists) ---------- #
+            _agg("User-1", "combustion LES", 4e8, 8e7, "uniform",
+                 0.8, 7200, s(128, 256), (0.7, 0.3)),
+            _agg("User-3", "CFD solver", 3.5e8, 5e7, "uniform",
+                 0.7, 5400, s(128, 256), (0.7, 0.3)),
+            _agg("User-4", "cosmology pipeline", 3e8, 2e8, "uniform",
+                 0.7, 7200, s(128,), (1.0,)),
+            _agg("User-5", "seismic imaging (I/O bursts)", 2.5e8, 3e8, "uniform",
+                 0.6, 5400, s(128, 256), (0.6, 0.4)),
+            _agg("User-7", "fusion PIC", 4e8, 6e7, "allreduce",
+                 0.6, 9000, s(256,), (1.0,), rr=0.2),
+            _agg("User-12", "lattice QCD (other group)", 4.5e8, 4e7, "uniform",
+                 0.6, 7200, s(128, 256), (0.5, 0.5)),
+            _agg("User-13", "graph analytics", 3.5e8, 1e8, "alltoall",
+                 0.5, 3600, s(128,), (1.0,)),
+        ]
+        # ---- benign long tail: small or quiet jobs ----------------------- #
+        rng = np.random.default_rng(424242)
+        for i in range(15, 33):
+            users.append(
+                _agg(
+                    f"User-{i}",
+                    "small/quiet workload",
+                    float(rng.uniform(1e7, 1.2e8)),
+                    float(rng.uniform(0.0, 3e7)),
+                    "uniform",
+                    float(rng.uniform(0.5, 3.0)),
+                    float(rng.uniform(1800, 7200)),
+                    s(4, 16, 64),
+                    (0.5, 0.3, 0.2),
+                )
+            )
+        return cls(archetypes=users)
+
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        return len(self.archetypes)
+
+    def by_name(self, user: str) -> UserArchetype:
+        for a in self.archetypes:
+            if a.user == user:
+                return a
+        raise KeyError(user)
+
+    @property
+    def aggressors(self) -> list[str]:
+        return [a.user for a in self.archetypes if a.is_aggressor]

@@ -1,0 +1,122 @@
+"""Background job arrival process over the campaign period.
+
+Each user submits jobs as a Poisson process at their archetype's rate,
+with lognormal durations and archetype-specific sizes — the statistical
+shape of a production HPC queue.  The result is a stream of
+:class:`~repro.system.jobs.JobRequest` objects for the scheduler.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.system.jobs import JobRequest
+from repro.system.users import UserPopulation
+
+#: Seconds per day (campaign times are seconds since epoch).
+DAY = 86_400.0
+
+
+class BackgroundWorkloadGenerator:
+    """Samples the background job stream for a campaign window."""
+
+    def __init__(
+        self,
+        population: UserPopulation,
+        rng: np.random.Generator,
+        max_job_nodes: int | None = None,
+        rate_scale: float = 1.0,
+        duration_scale: float = 1.0,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        population:
+            The user archetypes.
+        rng:
+            Random source (derive one per campaign for reproducibility).
+        max_job_nodes:
+            Clamp job sizes (so a reduced-scale machine is never asked for
+            more nodes than it has).
+        rate_scale, duration_scale:
+            Multipliers on submission rates and durations, used to hit a
+            target machine utilisation (see :meth:`demand_node_seconds_per_day`
+            and the campaign runner's normalisation).
+        """
+        self.population = population
+        self.rng = rng
+        self.max_job_nodes = max_job_nodes
+        self.rate_scale = rate_scale
+        self.duration_scale = duration_scale
+
+    def demand_node_seconds_per_day(self) -> float:
+        """Expected node-seconds of demand per day under current scales."""
+        total = 0.0
+        for arch in self.population.archetypes:
+            mean_size = float(
+                np.dot(arch.sizes, arch.size_probs)
+            )
+            if self.max_job_nodes is not None:
+                mean_size = min(mean_size, self.max_job_nodes)
+            total += (
+                arch.jobs_per_day
+                * self.rate_scale
+                * arch.duration_mean
+                * self.duration_scale
+                * mean_size
+            )
+        return total
+
+    @classmethod
+    def for_target_utilisation(
+        cls,
+        population: UserPopulation,
+        rng: np.random.Generator,
+        total_nodes: int,
+        target_utilisation: float,
+        max_job_nodes: int | None = None,
+        duration_scale: float = 4.0,
+    ) -> "BackgroundWorkloadGenerator":
+        """Normalise submission rates so expected demand matches a target
+        machine utilisation (production systems run near-full; Cori's KNL
+        partition typically sat above 90%)."""
+        if not 0 < target_utilisation < 1:
+            raise ValueError("target_utilisation must be in (0, 1)")
+        probe = cls(
+            population,
+            rng,
+            max_job_nodes=max_job_nodes,
+            duration_scale=duration_scale,
+        )
+        demand = probe.demand_node_seconds_per_day()
+        want = target_utilisation * total_nodes * DAY
+        probe.rate_scale = want / demand if demand > 0 else 1.0
+        return probe
+
+    def generate(self, start: float, end: float) -> list[JobRequest]:
+        """All background job requests submitted in [start, end)."""
+        if end <= start:
+            raise ValueError("end must be after start")
+        requests: list[JobRequest] = []
+        span_days = (end - start) / DAY
+        for arch in self.population.archetypes:
+            n_jobs = self.rng.poisson(arch.jobs_per_day * self.rate_scale * span_days)
+            if n_jobs == 0:
+                continue
+            submits = np.sort(self.rng.uniform(start, end, size=n_jobs))
+            for t in submits:
+                size = arch.sample_size(self.rng)
+                if self.max_job_nodes is not None:
+                    size = min(size, self.max_job_nodes)
+                requests.append(
+                    JobRequest(
+                        user=arch.user,
+                        name=f"{arch.user.lower()}-job",
+                        submit_time=float(t),
+                        num_nodes=size,
+                        duration=arch.sample_duration(self.rng) * self.duration_scale,
+                        traffic_tag=arch.user,
+                    )
+                )
+        requests.sort(key=lambda r: r.submit_time)
+        return requests

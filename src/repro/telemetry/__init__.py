@@ -1,0 +1,21 @@
+"""Telemetry layers matching the paper's data sources (§III-C).
+
+* :mod:`~repro.telemetry.ariesncl` — per-job network counters (AriesNCL
+  reads PAPI counters for routers directly attached to the job's nodes);
+* :mod:`~repro.telemetry.mpip` — mpiP-style MPI profiling (compute vs MPI
+  split and per-routine breakdown);
+* :mod:`~repro.telemetry.sacct` — Slurm accounting queries (neighbourhood
+  users, placements).
+"""
+
+from repro.telemetry.ariesncl import AriesNCL, StepCounters
+from repro.telemetry.mpip import MPIProfile, profile_run
+from repro.telemetry.sacct import SacctLog
+
+__all__ = [
+    "AriesNCL",
+    "StepCounters",
+    "MPIProfile",
+    "profile_run",
+    "SacctLog",
+]

@@ -1,0 +1,82 @@
+"""AriesNCL-style per-job counter collection (paper §III-C).
+
+AriesNCL (via PAPI) can only read counters of routers *directly attached*
+to the job's nodes — the paper calls this limitation out explicitly, and
+it is why the ``io``/``sys`` feature groups need LDMS instead.  This layer
+reproduces exactly that view: per time step, it integrates the per-router
+counter rates over the step duration and sums over the job's routers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.network.counters import (
+    APP_COUNTERS,
+    aggregate_counters,
+    synthesize_router_counters,
+)
+from repro.network.engine import NetworkState
+from repro.topology.dragonfly import DragonflyTopology
+
+
+@dataclass
+class StepCounters:
+    """Counter deltas recorded for one time step of one run."""
+
+    step: int
+    duration: float
+    values: dict[str, float] = field(default_factory=dict)
+
+    def vector(self, names: list[str] | None = None) -> np.ndarray:
+        names = names or APP_COUNTERS
+        return np.array([self.values[n] for n in names], dtype=np.float64)
+
+
+class AriesNCL:
+    """Per-job counter collector bound to one placement."""
+
+    def __init__(
+        self,
+        topology: DragonflyTopology,
+        job_routers: np.ndarray,
+        rng: np.random.Generator | None = None,
+        noise: float = 0.02,
+    ) -> None:
+        self.topology = topology
+        self.job_routers = np.asarray(job_routers)
+        self.rng = rng
+        self.noise = noise
+        self._steps: list[StepCounters] = []
+
+    def record_step(
+        self,
+        step: int,
+        state: NetworkState,
+        duration: float,
+        router_rates: dict[str, np.ndarray] | None = None,
+    ) -> StepCounters:
+        """Read counters for one step from the solved network state."""
+        if router_rates is None:
+            router_rates = synthesize_router_counters(state)
+        values = aggregate_counters(
+            router_rates,
+            self.job_routers,
+            duration,
+            rng=self.rng,
+            noise=self.noise,
+        )
+        sc = StepCounters(step=step, duration=duration, values=values)
+        self._steps.append(sc)
+        return sc
+
+    @property
+    def steps(self) -> list[StepCounters]:
+        return list(self._steps)
+
+    def matrix(self, names: list[str] | None = None) -> np.ndarray:
+        """(T, H) matrix of counter deltas over the recorded steps."""
+        names = names or APP_COUNTERS
+        return np.stack([s.vector(names) for s in self._steps], axis=0)

@@ -1,0 +1,147 @@
+"""Slurm ``sacct`` text format: writer and parser.
+
+The paper's neighbourhood features were mined from textual ``sacct``
+output (§III-C) — the authors note that job/executable names were too
+inconsistent to parse reliably, which is why the analysis keys on user
+ids.  This module round-trips the scheduler's job log through the same
+pipe-separated format Slurm emits (``sacct -P -o ...``), including the
+compressed hostlist syntax (``nid[00012-00015,00021]``), so the analyses
+can run from logs alone.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.system.jobs import JobRecord, JobRequest
+
+#: Column layout of our sacct export.
+FIELDS = ["JobID", "User", "JobName", "Submit", "Start", "End", "NNodes", "NodeList"]
+
+
+def compress_nodelist(nodes: np.ndarray, prefix: str = "nid") -> str:
+    """Slurm hostlist compression: sorted ids -> ``nid[00001-00003,00007]``."""
+    nodes = np.sort(np.asarray(nodes, dtype=np.int64))
+    if len(nodes) == 0:
+        return f"{prefix}[]"
+    parts: list[str] = []
+    start = prev = int(nodes[0])
+    for n in nodes[1:]:
+        n = int(n)
+        if n == prev + 1:
+            prev = n
+            continue
+        parts.append(f"{start:05d}" if start == prev else f"{start:05d}-{prev:05d}")
+        start = prev = n
+    parts.append(f"{start:05d}" if start == prev else f"{start:05d}-{prev:05d}")
+    return f"{prefix}[{','.join(parts)}]"
+
+
+_RANGE = re.compile(r"^(\d+)(?:-(\d+))?$")
+
+
+def expand_nodelist(text: str, prefix: str = "nid") -> np.ndarray:
+    """Inverse of :func:`compress_nodelist`."""
+    if not text.startswith(f"{prefix}[") or not text.endswith("]"):
+        raise ValueError(f"not a {prefix} hostlist: {text!r}")
+    body = text[len(prefix) + 1 : -1]
+    if not body:
+        return np.empty(0, dtype=np.int64)
+    out: list[int] = []
+    for token in body.split(","):
+        m = _RANGE.match(token)
+        if not m:
+            raise ValueError(f"bad hostlist token {token!r}")
+        lo = int(m.group(1))
+        hi = int(m.group(2)) if m.group(2) else lo
+        if hi < lo:
+            raise ValueError(f"inverted range {token!r}")
+        out.extend(range(lo, hi + 1))
+    return np.asarray(out, dtype=np.int64)
+
+
+def write_sacct(jobs: list[JobRecord]) -> str:
+    """Render job records as pipe-separated sacct output."""
+    lines = ["|".join(FIELDS)]
+    for job in jobs:
+        lines.append(
+            "|".join(
+                [
+                    str(job.job_id),
+                    job.user,
+                    job.name,
+                    f"{job.request.submit_time:.3f}",
+                    f"{job.start_time:.3f}",
+                    f"{job.end_time:.3f}",
+                    str(job.num_nodes),
+                    compress_nodelist(job.nodes),
+                ]
+            )
+        )
+    return "\n".join(lines) + "\n"
+
+
+@dataclass
+class ParsedJob:
+    """One sacct row, reconstructed."""
+
+    job_id: int
+    user: str
+    name: str
+    submit: float
+    start: float
+    end: float
+    num_nodes: int
+    nodes: np.ndarray
+
+    def to_record(self) -> JobRecord:
+        return JobRecord(
+            job_id=self.job_id,
+            request=JobRequest(
+                user=self.user,
+                name=self.name,
+                submit_time=self.submit,
+                num_nodes=self.num_nodes,
+                duration=max(self.end - self.start, 1e-9),
+                is_probe=self.name.startswith("probe-"),
+            ),
+            start_time=self.start,
+            end_time=self.end,
+            nodes=self.nodes,
+        )
+
+
+def parse_sacct(text: str) -> list[ParsedJob]:
+    """Parse pipe-separated sacct output back into jobs."""
+    lines = [ln for ln in text.splitlines() if ln.strip()]
+    if not lines:
+        return []
+    header = lines[0].split("|")
+    if header != FIELDS:
+        raise ValueError(f"unexpected sacct header: {header}")
+    out: list[ParsedJob] = []
+    for ln in lines[1:]:
+        cols = ln.split("|")
+        if len(cols) != len(FIELDS):
+            raise ValueError(f"malformed sacct row: {ln!r}")
+        nodes = expand_nodelist(cols[7])
+        if len(nodes) != int(cols[6]):
+            raise ValueError(
+                f"row {cols[0]}: NNodes={cols[6]} but hostlist has {len(nodes)}"
+            )
+        out.append(
+            ParsedJob(
+                job_id=int(cols[0]),
+                user=cols[1],
+                name=cols[2],
+                submit=float(cols[3]),
+                start=float(cols[4]),
+                end=float(cols[5]),
+                num_nodes=int(cols[6]),
+                nodes=nodes,
+            )
+        )
+    return out

@@ -1,0 +1,150 @@
+"""A small columnar time-series store for telemetry streams.
+
+LDMS on Cori writes ~5 TB/day of counter samples (paper §III-C); facility
+pipelines land them in columnar stores and query them by time window.
+This is that pattern in miniature: append-only channels of (time, value)
+samples with windowed queries, rate conversion and resampling — enough to
+back post-hoc analyses of campaign telemetry without re-running the
+simulator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class Channel:
+    """One named stream of (time, value) samples (monotone time)."""
+
+    name: str
+    _times: list[float] = field(default_factory=list, repr=False)
+    _values: list[float] = field(default_factory=list, repr=False)
+
+    def append(self, t: float, value: float) -> None:
+        if self._times and t < self._times[-1]:
+            raise ValueError(
+                f"channel {self.name}: non-monotone append "
+                f"({t} after {self._times[-1]})"
+            )
+        self._times.append(float(t))
+        self._values.append(float(value))
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    @property
+    def times(self) -> np.ndarray:
+        return np.asarray(self._times)
+
+    @property
+    def values(self) -> np.ndarray:
+        return np.asarray(self._values)
+
+    # ------------------------------------------------------------------ #
+
+    def window(self, start: float, end: float) -> tuple[np.ndarray, np.ndarray]:
+        """Samples with start <= t < end."""
+        t = self.times
+        lo = int(np.searchsorted(t, start, side="left"))
+        hi = int(np.searchsorted(t, end, side="left"))
+        return t[lo:hi], self.values[lo:hi]
+
+    def integrate(self, start: float, end: float) -> float:
+        """Sum of samples in the window (counter *deltas* add)."""
+        _, v = self.window(start, end)
+        return float(v.sum())
+
+    def rate(self, start: float, end: float) -> float:
+        """Mean events/second over the window."""
+        span = end - start
+        if span <= 0:
+            raise ValueError("window must have positive span")
+        return self.integrate(start, end) / span
+
+    def resample(
+        self, start: float, end: float, step: float
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Per-bin sums on a regular grid (LDMS downsampling)."""
+        if step <= 0:
+            raise ValueError("step must be positive")
+        edges = np.arange(start, end + step * 0.5, step)
+        t, v = self.window(start, end)
+        idx = np.clip(np.searchsorted(edges, t, side="right") - 1, 0, len(edges) - 2)
+        sums = np.bincount(idx, weights=v, minlength=len(edges) - 1)
+        return edges[:-1], sums
+
+
+class TelemetryStore:
+    """Named channels with shared query helpers."""
+
+    def __init__(self) -> None:
+        self._channels: dict[str, Channel] = {}
+
+    def channel(self, name: str) -> Channel:
+        """Get (creating on first use) a channel."""
+        ch = self._channels.get(name)
+        if ch is None:
+            ch = Channel(name=name)
+            self._channels[name] = ch
+        return ch
+
+    def append(self, name: str, t: float, value: float) -> None:
+        self.channel(name).append(t, value)
+
+    def append_dict(self, t: float, values: dict[str, float]) -> None:
+        """Append one sample per key (e.g. an LDMS row)."""
+        for name, v in values.items():
+            self.append(name, t, v)
+
+    def names(self) -> list[str]:
+        return sorted(self._channels)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._channels
+
+    def correlate(
+        self, a: str, b: str, start: float, end: float, step: float
+    ) -> float:
+        """Pearson correlation of two channels on a shared grid."""
+        _, va = self.channel(a).resample(start, end, step)
+        _, vb = self.channel(b).resample(start, end, step)
+        if va.std() == 0 or vb.std() == 0:
+            return 0.0
+        return float(np.corrcoef(va, vb)[0, 1])
+
+
+def store_from_dataset(ds) -> TelemetryStore:
+    """Load a campaign dataset's per-step telemetry into a store.
+
+    Channels: the 13 AriesNCL counters plus the 8 LDMS features, sampled
+    at each run's step midpoints (absolute campaign time).
+    """
+    from repro.campaign.datasets import LDMS_FEATURES
+    from repro.network.counters import APP_COUNTERS
+
+    store = TelemetryStore()
+    # Runs can overlap in time (the paper's probes sometimes did, §III-A),
+    # so gather all samples first and append in global time order.
+    samples: list[tuple[float, dict[str, float]]] = []
+    for run in ds.runs:
+        mids = run.start_time + np.cumsum(run.step_times) - run.step_times / 2
+        for s, t in enumerate(mids):
+            row = {
+                name: float(run.counters[s, i])
+                for i, name in enumerate(APP_COUNTERS)
+            }
+            row.update(
+                {
+                    name: float(run.ldms[s, i])
+                    for i, name in enumerate(LDMS_FEATURES)
+                }
+            )
+            row["step_time"] = float(run.step_times[s])
+            samples.append((float(t), row))
+    samples.sort(key=lambda sv: sv[0])
+    for t, row in samples:
+        store.append_dict(t, row)
+    return store

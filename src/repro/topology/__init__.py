@@ -1,0 +1,36 @@
+"""Dragonfly topology substrate (Cray XC / Aries shape).
+
+This subpackage models the two-level dragonfly of Cray XC systems: groups of
+routers arranged in a row x column grid, all-to-all *green* links along rows,
+all-to-all *black* links along columns, and *blue* global links between
+groups (paper §II-A, Fig. 2).
+
+Public API
+----------
+:class:`~repro.topology.dragonfly.DragonflyTopology`
+    The topology object: routers, nodes, canonically indexed links.
+:class:`~repro.topology.routing.AdaptiveRouter`
+    UGAL-style adaptive routing producing per-flow link incidences.
+:mod:`~repro.topology.placement`
+    Node-allocation policies and the NUM_ROUTERS / NUM_GROUPS features.
+"""
+
+from repro.topology.dragonfly import DragonflyTopology, LinkKind
+from repro.topology.placement import (
+    AllocationPolicy,
+    num_groups_feature,
+    num_routers_feature,
+    placement_features,
+)
+from repro.topology.routing import AdaptiveRouter, FlowRouting
+
+__all__ = [
+    "DragonflyTopology",
+    "LinkKind",
+    "AdaptiveRouter",
+    "FlowRouting",
+    "AllocationPolicy",
+    "placement_features",
+    "num_routers_feature",
+    "num_groups_feature",
+]

@@ -1,0 +1,123 @@
+"""Node-allocation policies and the paper's placement features.
+
+The paper derives two placement features from Slurm logs (§III-C):
+
+* ``NUM_ROUTERS`` — number of unique Aries routers a job's nodes attach to;
+* ``NUM_GROUPS`` — number of unique dragonfly groups the job spans.
+
+Cori's scheduler hands out whatever nodes are free, so production placements
+are *fragmented*; the allocation policies here reproduce that spectrum, from
+fully contiguous (best case) to uniformly random over free nodes (the
+typical busy-system case).
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from repro.topology.dragonfly import DragonflyTopology
+
+
+class AllocationPolicy(enum.Enum):
+    """How the scheduler picks nodes for a job."""
+
+    #: Lowest-numbered free nodes: dense, few routers/groups.
+    CONTIGUOUS = "contiguous"
+    #: Uniformly random free nodes: maximally fragmented (busy Cori).
+    RANDOM = "random"
+    #: Greedy by group, random within each group: moderate fragmentation.
+    CLUSTERED = "clustered"
+
+
+def allocate(
+    topology: DragonflyTopology,
+    free_nodes: np.ndarray,
+    size: int,
+    policy: AllocationPolicy = AllocationPolicy.CLUSTERED,
+    rng: np.random.Generator | None = None,
+) -> np.ndarray:
+    """Pick ``size`` nodes from ``free_nodes`` under ``policy``.
+
+    Parameters
+    ----------
+    topology:
+        Used for group arithmetic under the clustered policy.
+    free_nodes:
+        Sorted array of currently free node ids.
+    size:
+        Number of nodes requested.
+    policy:
+        Allocation flavour.
+    rng:
+        Random source for the stochastic policies.
+
+    Returns
+    -------
+    numpy.ndarray
+        Sorted node ids of the allocation.
+
+    Raises
+    ------
+    ValueError
+        If fewer than ``size`` nodes are free.
+    """
+    free_nodes = np.asarray(free_nodes)
+    if size <= 0:
+        raise ValueError("allocation size must be positive")
+    if len(free_nodes) < size:
+        raise ValueError(
+            f"cannot allocate {size} nodes: only {len(free_nodes)} free"
+        )
+    if policy is AllocationPolicy.CONTIGUOUS:
+        return np.sort(free_nodes[:size])
+    if rng is None:
+        rng = np.random.default_rng(0)
+    if policy is AllocationPolicy.RANDOM:
+        return np.sort(rng.choice(free_nodes, size=size, replace=False))
+    if policy is AllocationPolicy.CLUSTERED:
+        # Fill group by group (groups ordered by how many free nodes they
+        # have, descending), taking a random subset within each group.
+        groups = topology.node_router(free_nodes) // topology.routers_per_group
+        order = rng.permutation(len(free_nodes))
+        shuffled = free_nodes[order]
+        shuffled_groups = groups[order]
+        uniq, counts = np.unique(shuffled_groups, return_counts=True)
+        group_order = uniq[np.argsort(-counts, kind="stable")]
+        chosen: list[np.ndarray] = []
+        remaining = size
+        for g in group_order:
+            pick = shuffled[shuffled_groups == g][:remaining]
+            chosen.append(pick)
+            remaining -= len(pick)
+            if remaining == 0:
+                break
+        return np.sort(np.concatenate(chosen))
+    raise ValueError(f"unknown policy {policy!r}")
+
+
+def num_routers_feature(topology: DragonflyTopology, nodes: np.ndarray) -> int:
+    """``NUM_ROUTERS``: unique routers attached to the job's nodes."""
+    return int(len(np.unique(topology.node_router(np.asarray(nodes)))))
+
+
+def num_groups_feature(topology: DragonflyTopology, nodes: np.ndarray) -> int:
+    """``NUM_GROUPS``: unique dragonfly groups spanned by the job."""
+    routers = np.unique(topology.node_router(np.asarray(nodes)))
+    return int(len(np.unique(routers // topology.routers_per_group)))
+
+
+def placement_features(
+    topology: DragonflyTopology, nodes: np.ndarray
+) -> dict[str, int]:
+    """Both placement features as a dict keyed by the paper's names."""
+    return {
+        "NUM_ROUTERS": num_routers_feature(topology, nodes),
+        "NUM_GROUPS": num_groups_feature(topology, nodes),
+    }
+
+
+def job_routers(topology: DragonflyTopology, nodes: np.ndarray) -> np.ndarray:
+    """Unique routers a job's nodes attach to (sorted)."""
+    return np.unique(topology.node_router(np.asarray(nodes)))

@@ -1,0 +1,80 @@
+"""ASCII rendering of the dragonfly (the paper's Fig. 2, in a terminal).
+
+Draws one group's router grid with its green/black all-to-all structure
+summarised, and the inter-group blue connectivity, plus an optional
+utilisation overlay from a solved network state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.topology.dragonfly import DragonflyTopology, LinkKind
+
+
+def render_group(topology: DragonflyTopology, group: int = 0) -> str:
+    """One group's router grid with link-class annotations."""
+    if not 0 <= group < topology.groups:
+        raise ValueError("group out of range")
+    lines = [
+        f"group {group}: {topology.col_size} rows x {topology.row_size} "
+        f"routers, {topology.nodes_per_router} nodes each"
+    ]
+    for row in range(topology.col_size):
+        cells = []
+        for pos in range(topology.row_size):
+            r = int(topology.router_id(group, row, pos))
+            mark = "io" if topology.io_router_mask[r] else "r"
+            cells.append(f"{mark}{r:04d}")
+        lines.append("  " + " --g-- ".join(cells))
+    lines.append(
+        f"  rows all-to-all via green links ({topology.row_size - 1}/router); "
+        f"columns via black links ({topology.col_size - 1}/router)"
+    )
+    lines.append(
+        f"  blue links to each of {topology.groups - 1} peer groups "
+        f"x{topology.global_multiplicity}"
+    )
+    return "\n".join(lines)
+
+
+def render_group_connectivity(topology: DragonflyTopology) -> str:
+    """Group-level adjacency summary (all-to-all on Cray XC)."""
+    g = topology.groups
+    lines = [f"{g} groups, all-to-all global connectivity:"]
+    width = min(g, 16)
+    header = "      " + " ".join(f"g{j:02d}" for j in range(width))
+    lines.append(header)
+    for a in range(min(g, 16)):
+        row = [
+            " x " if a != b else " . " for b in range(width)
+        ]
+        lines.append(f"  g{a:02d} " + " ".join(row))
+    if g > 16:
+        lines.append(f"  ... ({g - 16} more groups)")
+    return "\n".join(lines)
+
+
+def render_utilisation(
+    topology: DragonflyTopology,
+    link_loads: np.ndarray,
+    buckets: str = " .:-=+*#%@",
+) -> str:
+    """Per-link-class utilisation histogram as a sparkline summary."""
+    util = link_loads / topology.link_capacity
+    lines = ["link utilisation by class:"]
+    for kind in LinkKind:
+        u = util[topology.link_kind == kind]
+        if len(u) == 0:
+            continue
+        hist, _ = np.histogram(np.clip(u, 0, 1), bins=10, range=(0.0, 1.0))
+        peak = hist.max() if hist.max() > 0 else 1
+        spark = "".join(
+            buckets[min(int(h / peak * (len(buckets) - 1)), len(buckets) - 1)]
+            for h in hist
+        )
+        lines.append(
+            f"  {kind.name.lower():5s} [{spark}] mean={u.mean():.3f} "
+            f"max={u.max():.3f} ({len(u)} links)"
+        )
+    return "\n".join(lines)

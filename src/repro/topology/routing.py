@@ -1,0 +1,344 @@
+"""UGAL-style adaptive routing over the dragonfly, fully vectorised.
+
+The Aries network routes each packet either *minimally* (src group ->
+destination group directly over a blue link) or *non-minimally* (Valiant:
+via a random intermediate group), choosing per packet based on backpressure
+(paper §II-A).  An aggregate-flow model cannot route individual packets, so
+we reproduce the mechanism at flow granularity:
+
+* every flow is expanded into **two** weighted link sets — its minimal path
+  set and a Valiant path set over sampled intermediate groups;
+* the congestion engine solves a small fixed point for the per-flow split
+  ``alpha`` (fraction routed minimally), increasing Valiant usage when the
+  minimal path is more congested, exactly the UGAL decision rule.
+
+Path expansion uses only arithmetic on router coordinates plus the
+topology's canonical link ids, so routing ``n`` flows costs a handful of
+NumPy operations regardless of ``n``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.topology.dragonfly import DragonflyTopology
+
+
+class _IncidenceBuilder:
+    """Accumulates (flow, link, share) COO triplets from vectorised segments."""
+
+    def __init__(self) -> None:
+        self._flows: list[np.ndarray] = []
+        self._links: list[np.ndarray] = []
+        self._shares: list[np.ndarray] = []
+
+    def add(self, flows: np.ndarray, links: np.ndarray, shares: np.ndarray) -> None:
+        if len(flows) == 0:
+            return
+        self._flows.append(np.asarray(flows, dtype=np.int64))
+        self._links.append(np.asarray(links, dtype=np.int64))
+        self._shares.append(np.asarray(shares, dtype=np.float64))
+
+    def build(self) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        if not self._flows:
+            empty_i = np.empty(0, dtype=np.int64)
+            return empty_i, empty_i.copy(), np.empty(0, dtype=np.float64)
+        return (
+            np.concatenate(self._flows),
+            np.concatenate(self._links),
+            np.concatenate(self._shares),
+        )
+
+
+@dataclass
+class Incidence:
+    """Sparse flow -> link incidence: ``share`` of the flow's volume crosses
+    ``link`` (COO layout; a flow may appear many times)."""
+
+    flow: np.ndarray
+    link: np.ndarray
+    share: np.ndarray
+
+    @property
+    def nnz(self) -> int:
+        return len(self.flow)
+
+    def link_loads(self, volumes: np.ndarray, num_links: int) -> np.ndarray:
+        """Scatter-add flow volumes (bytes/s) into per-link loads."""
+        loads = np.zeros(num_links, dtype=np.float64)
+        if self.nnz:
+            np.add.at(loads, self.link, volumes[self.flow] * self.share)
+        return loads
+
+    def flow_max_metric(self, per_link: np.ndarray, n_flows: int) -> np.ndarray:
+        """Per-flow maximum of a per-link metric over the flow's links."""
+        out = np.zeros(n_flows, dtype=np.float64)
+        if self.nnz:
+            np.maximum.at(out, self.flow, per_link[self.link])
+        return out
+
+    def flow_mean_metric(self, per_link: np.ndarray, n_flows: int) -> np.ndarray:
+        """Per-flow share-weighted mean of a per-link metric."""
+        num = np.zeros(n_flows, dtype=np.float64)
+        den = np.zeros(n_flows, dtype=np.float64)
+        if self.nnz:
+            np.add.at(num, self.flow, per_link[self.link] * self.share)
+            np.add.at(den, self.flow, self.share)
+        return num / np.maximum(den, 1e-300)
+
+
+@dataclass
+class FlowRouting:
+    """Routing of a flow set: minimal and Valiant incidences plus metadata.
+
+    The per-flow adaptive split ``alpha`` (fraction of volume routed
+    minimally) lives in the congestion engine; a ``FlowRouting`` is pure
+    geometry and can be reused across timesteps as long as the placement
+    and pattern are unchanged.
+    """
+
+    n_flows: int
+    minimal: Incidence
+    valiant: Incidence
+    #: True for flows whose endpoints share a router (no fabric links used).
+    local_mask: np.ndarray = field(repr=False)
+
+    def link_loads(
+        self, volumes: np.ndarray, alpha: np.ndarray | float, num_links: int
+    ) -> np.ndarray:
+        """Combined per-link byte/s loads under split ``alpha``."""
+        alpha = np.broadcast_to(np.asarray(alpha, dtype=np.float64), (self.n_flows,))
+        loads = self.minimal.link_loads(volumes * alpha, num_links)
+        loads += self.valiant.link_loads(volumes * (1.0 - alpha), num_links)
+        return loads
+
+
+class AdaptiveRouter:
+    """Expands router-level flows into minimal + Valiant link incidences."""
+
+    def __init__(
+        self,
+        topology: DragonflyTopology,
+        blue_channels: int = 2,
+        valiant_samples: int = 2,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        topology:
+            The dragonfly to route over.
+        blue_channels:
+            Parallel blue links used per (flow, group-pair); traffic is
+            spread evenly over them (Aries stripes packets over parallel
+            optical links).
+        valiant_samples:
+            Intermediate groups sampled per flow for the non-minimal set.
+        """
+        self.topology = topology
+        self.blue_channels = min(blue_channels, topology.global_multiplicity)
+        self.valiant_samples = valiant_samples
+
+    # ------------------------------------------------------------------ #
+
+    def route(
+        self,
+        src_router: np.ndarray,
+        dst_router: np.ndarray,
+        rng: np.random.Generator | None = None,
+    ) -> FlowRouting:
+        """Route flows from ``src_router[i]`` to ``dst_router[i]``.
+
+        Returns a :class:`FlowRouting` with both path sets.  ``rng`` only
+        affects Valiant intermediate-group sampling; pass a seeded
+        generator for reproducibility (default: deterministic stride-based
+        sampling).
+        """
+        src = np.asarray(src_router, dtype=np.int64)
+        dst = np.asarray(dst_router, dtype=np.int64)
+        if src.shape != dst.shape:
+            raise ValueError("src_router and dst_router must have equal length")
+        n = len(src)
+        topo = self.topology
+
+        local_mask = src == dst
+
+        minimal = _IncidenceBuilder()
+        valiant = _IncidenceBuilder()
+
+        sg = src // topo.routers_per_group
+        dg = dst // topo.routers_per_group
+        same_group = (sg == dg) & ~local_mask
+        inter = ~same_group & ~local_mask
+
+        # ---- minimal, intra-group ------------------------------------- #
+        idx = np.flatnonzero(same_group)
+        if len(idx):
+            self._intra_segment(
+                minimal,
+                idx,
+                sg[idx],
+                src[idx],
+                dst[idx],
+                np.ones(len(idx)),
+            )
+
+        # ---- minimal, inter-group ------------------------------------- #
+        idx = np.flatnonzero(inter)
+        if len(idx):
+            share = np.full(len(idx), 1.0 / self.blue_channels)
+            for t in range(self.blue_channels):
+                chan = (idx + t) % topo.global_multiplicity
+                self._global_hop(
+                    minimal, idx, src[idx], dst[idx], sg[idx], dg[idx], chan, share
+                )
+
+        # ---- Valiant, intra-group (via random router in group) --------- #
+        idx = np.flatnonzero(same_group)
+        if len(idx):
+            mids = self._sample_intra_mid(src[idx], dst[idx], sg[idx], rng)
+            # The flow crosses both legs in full, so each leg gets share 1.
+            share = np.full(len(idx), 1.0)
+            self._intra_segment(valiant, idx, sg[idx], src[idx], mids, share)
+            self._intra_segment(valiant, idx, sg[idx], mids, dst[idx], share)
+
+        # ---- Valiant, inter-group (via intermediate groups) ------------ #
+        idx = np.flatnonzero(inter)
+        if len(idx):
+            k = self.valiant_samples
+            share = np.full(len(idx), 1.0 / k)
+            for s in range(k):
+                inter_g = self._sample_intermediate_group(sg[idx], dg[idx], s, rng)
+                chan = (idx + s) % topo.global_multiplicity
+                # Leg 1: src -> intermediate group (to its gateway towards dg
+                # is irrelevant; traffic lands on the gateway from sg).
+                gw_in = topo.blue_gateway(inter_g, sg[idx], chan)
+                self._global_hop(
+                    valiant, idx, src[idx], gw_in, sg[idx], inter_g, chan, share
+                )
+                # Leg 2: intermediate group -> destination group.
+                chan2 = (idx + s + 1) % topo.global_multiplicity
+                self._global_hop(
+                    valiant, idx, gw_in, dst[idx], inter_g, dg[idx], chan2, share
+                )
+
+        mf, ml, ms = minimal.build()
+        vf, vl, vs = valiant.build()
+        return FlowRouting(
+            n_flows=n,
+            minimal=Incidence(mf, ml, ms),
+            valiant=Incidence(vf, vl, vs),
+            local_mask=local_mask,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Segment expansion helpers (all vectorised over flow subsets)
+    # ------------------------------------------------------------------ #
+
+    def _intra_segment(
+        self,
+        out: _IncidenceBuilder,
+        flow_idx: np.ndarray,
+        group: np.ndarray,
+        a: np.ndarray,
+        b: np.ndarray,
+        share: np.ndarray,
+    ) -> None:
+        """Add links of the minimal intra-group route a -> b (same group).
+
+        Same row: one green link.  Same column: one black link.  Otherwise
+        two 2-hop corner routes, each carrying half the share (dimension-
+        order spreading, as Aries' intra-group adaptive routing does).
+        """
+        topo = self.topology
+        ra, pa = topo.router_row(a), topo.router_pos(a)
+        rb, pb = topo.router_row(b), topo.router_pos(b)
+        same = (ra == rb) & (pa == pb)
+
+        row_case = (ra == rb) & ~same
+        if row_case.any():
+            m = row_case
+            out.add(
+                flow_idx[m],
+                topo.green_link(group[m], ra[m], pa[m], pb[m]),
+                share[m],
+            )
+
+        col_case = (pa == pb) & ~same
+        if col_case.any():
+            m = col_case
+            out.add(
+                flow_idx[m],
+                topo.black_link(group[m], pa[m], ra[m], rb[m]),
+                share[m],
+            )
+
+        two_hop = ~same & ~row_case & ~col_case
+        if two_hop.any():
+            m = two_hop
+            g, fi, sh = group[m], flow_idx[m], share[m] * 0.5
+            # Corner 1: green along source row to dst position, then black.
+            out.add(fi, topo.green_link(g, ra[m], pa[m], pb[m]), sh)
+            out.add(fi, topo.black_link(g, pb[m], ra[m], rb[m]), sh)
+            # Corner 2: black along source column to dst row, then green.
+            out.add(fi, topo.black_link(g, pa[m], ra[m], rb[m]), sh)
+            out.add(fi, topo.green_link(g, rb[m], pa[m], pb[m]), sh)
+
+    def _global_hop(
+        self,
+        out: _IncidenceBuilder,
+        flow_idx: np.ndarray,
+        src: np.ndarray,
+        dst: np.ndarray,
+        sg: np.ndarray,
+        dg: np.ndarray,
+        chan: np.ndarray,
+        share: np.ndarray,
+    ) -> None:
+        """Add links for src -> (gateway) -> blue -> (gateway) -> dst."""
+        topo = self.topology
+        gw_out = topo.blue_gateway(sg, dg, chan)
+        gw_in = topo.blue_gateway(dg, sg, chan)
+        self._intra_segment(out, flow_idx, sg, src, gw_out, share)
+        out.add(flow_idx, topo.blue_link(sg, dg, chan), share)
+        self._intra_segment(out, flow_idx, dg, gw_in, dst, share)
+
+    def _sample_intra_mid(
+        self,
+        src: np.ndarray,
+        dst: np.ndarray,
+        group: np.ndarray,
+        rng: np.random.Generator | None,
+    ) -> np.ndarray:
+        """Random intermediate router within the group (Valiant leg)."""
+        topo = self.topology
+        n = len(src)
+        if rng is None:
+            offs = (src * 7919 + dst * 104729) % (topo.routers_per_group - 1) + 1
+        else:
+            offs = rng.integers(1, topo.routers_per_group, size=n)
+        return group * topo.routers_per_group + (
+            (src % topo.routers_per_group + offs) % topo.routers_per_group
+        )
+
+    def _sample_intermediate_group(
+        self,
+        sg: np.ndarray,
+        dg: np.ndarray,
+        salt: int,
+        rng: np.random.Generator | None,
+    ) -> np.ndarray:
+        """Random intermediate group distinct from both endpoints."""
+        topo = self.topology
+        n = len(sg)
+        if rng is None:
+            raw = (sg * 31 + dg * 17 + salt * 101 + 13) % topo.groups
+        else:
+            raw = rng.integers(0, topo.groups, size=n)
+        # Shift away from the endpoint groups deterministically.
+        clash = (raw == sg) | (raw == dg)
+        while clash.any():
+            raw = np.where(clash, (raw + 1) % topo.groups, raw)
+            clash = (raw == sg) | (raw == dg)
+        return raw

@@ -1,0 +1,114 @@
+"""Baseline forecasters and the scheduling what-if extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.baselines import (
+    CarryForwardForecaster,
+    GBRForecaster,
+    compare_forecasters,
+)
+from repro.analysis.whatif import scheduling_whatif
+from repro.campaign.datasets import Campaign, RunDataset, RunRecord
+from repro.ml.attention import AttentionForecaster
+from repro.ml.metrics import r2_score
+
+
+def _fast_attention(seed=0):
+    return AttentionForecaster(d_model=8, hidden=16, epochs=50, seed=seed)
+
+
+def test_gbr_forecaster_learns_window_signal():
+    rng = np.random.default_rng(0)
+    n, m, h = 500, 4, 3
+    x = rng.normal(size=(n, m, h))
+    y = 3 * x[:, -1, 1] + 0.1 * rng.normal(size=n)
+    model = GBRForecaster(seed=0).fit(x[:400], y[:400])
+    assert r2_score(y[400:], model.predict(x[400:])) > 0.7
+    with pytest.raises(ValueError):
+        GBRForecaster().fit(np.ones((5, 4)), np.ones(5))
+
+
+def test_carry_forward_scales():
+    rng = np.random.default_rng(1)
+    x = rng.uniform(1, 2, size=(200, 3, 2))
+    y = 5 * x[:, :, 0].mean(axis=1)
+    cf = CarryForwardForecaster(channel=0).fit(x, y)
+    np.testing.assert_allclose(cf.predict(x), y, rtol=1e-6)
+    last = CarryForwardForecaster(channel=0, last_only=True).fit(x, y)
+    assert last.predict(x).shape == (200,)
+    dumb = CarryForwardForecaster(channel=None).fit(x, y)
+    np.testing.assert_allclose(dumb.predict(x), y.mean())
+
+
+def test_compare_forecasters_on_synthetic():
+    from tests.analysis.test_deviation_forecasting import _synthetic_dataset
+
+    ds = _synthetic_dataset(n=20, t=20)
+    cmp = compare_forecasters(
+        ds, m=4, k=4, n_splits=2, attention_factory=_fast_attention
+    )
+    assert set(cmp.mapes) == {"attention", "gbr", "ridge", "mean-target"}
+    assert all(v > 0 for v in cmp.mapes.values())
+    # Learned models beat the mean-target strawman on learnable data.
+    assert min(cmp.mapes["attention"], cmp.mapes["gbr"]) < cmp.mapes["mean-target"]
+    assert cmp.winner() in cmp.mapes
+
+
+# --------------------------------------------------------------------- #
+# what-if
+# --------------------------------------------------------------------- #
+
+
+def _mk_run(i, total, neighborhood, t=4):
+    step = np.full(t, total / t)
+    return RunRecord(
+        run_index=i,
+        start_time=500.0 * i,
+        step_times=step,
+        compute_times=step * 0.3,
+        mpi_times=step * 0.7,
+        counters=np.ones((t, 13)),
+        ldms=np.ones((t, 8)),
+        num_routers=8,
+        num_groups=2,
+        neighborhood=neighborhood,
+        routine_times={"Wait": 1.0},
+    )
+
+
+def test_whatif_quantifies_aggressor_cost():
+    rng = np.random.default_rng(2)
+    datasets = {}
+    for key in ("A-128", "B-128"):
+        runs = []
+        for i in range(60):
+            hot = bool(rng.random() < 0.4)
+            total = 100.0 + (50.0 if hot else 0.0) + rng.normal(0, 2)
+            runs.append(_mk_run(i, total, ["User-2"] if hot else []))
+        datasets[key] = RunDataset(key=key, runs=runs)
+    camp = Campaign(datasets=datasets)
+    results = scheduling_whatif(camp, dataset_keys=list(datasets))
+    assert len(results) == 2
+    for r in results:
+        assert r.runs_overlapped + r.runs_clean == 60
+        assert r.mean_time_overlapped > r.mean_time_clean
+        assert 0.2 < r.saving_fraction < 0.5  # ~50/150
+        assert 0.0 < r.net_saving_fraction < r.saving_fraction
+
+
+def test_whatif_degenerate_partition():
+    runs = [_mk_run(i, 100.0, []) for i in range(10)]
+    camp = Campaign(datasets={"X-128": RunDataset(key="X-128", runs=runs)})
+    results = scheduling_whatif(camp, dataset_keys=["X-128"])
+    assert results[0].saving_fraction == 0.0
+    assert results[0].net_saving_fraction == 0.0
+
+
+def test_whatif_on_campaign(tiny_campaign):
+    results = scheduling_whatif(tiny_campaign)
+    assert len(results) >= 4
+    for r in results:
+        assert 0.0 <= r.net_saving_fraction <= 1.0

@@ -1,0 +1,75 @@
+"""Property-based tests for the forecasting window machinery."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.forecasting import build_windows
+
+
+@given(
+    n=st.integers(1, 6),
+    t=st.integers(4, 24),
+    h=st.integers(1, 5),
+    m=st.integers(1, 8),
+    k=st.integers(1, 8),
+    seed=st.integers(0, 100),
+)
+@settings(max_examples=60, deadline=None)
+def test_property_windows_match_bruteforce(n, t, h, m, k, seed):
+    if m + k > t:
+        return
+    rng = np.random.default_rng(seed)
+    feats = rng.normal(size=(n, t, h))
+    y = rng.uniform(0.1, 5.0, size=(n, t))
+    x, targets, groups = build_windows(feats, y, m, k)
+    n_windows = t - m - k + 1
+    assert x.shape == (n * n_windows, m, h)
+    # Brute-force cross-check of a few random windows.
+    for _ in range(min(10, len(x))):
+        i = int(rng.integers(0, len(x)))
+        run = int(groups[i])
+        tc = (m - 1) + (i // n)  # windows are blocked by tc, then by run
+        np.testing.assert_allclose(x[i], feats[run, tc - m + 1 : tc + 1, :])
+        np.testing.assert_allclose(
+            targets[i], y[run, tc + 1 : tc + 1 + k].sum()
+        )
+
+
+@given(
+    t=st.integers(8, 20),
+    m_small=st.integers(1, 3),
+    m_big=st.integers(4, 7),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_align_m_equalises_sample_counts(t, m_small, m_big):
+    k = 1
+    if m_big + k > t:
+        return
+    feats = np.zeros((3, t, 2))
+    y = np.ones((3, t))
+    xs, _, _ = build_windows(feats, y, m_small, k, align_m=m_big)
+    xb, _, _ = build_windows(feats, y, m_big, k)
+    assert len(xs) == len(xb)
+    assert xs.shape[1] == m_small
+
+
+def test_align_m_validation():
+    feats = np.zeros((2, 10, 2))
+    y = np.ones((2, 10))
+    with pytest.raises(ValueError):
+        build_windows(feats, y, m=5, k=2, align_m=3)
+
+
+@given(scale=st.floats(0.1, 100.0))
+@settings(max_examples=20, deadline=None)
+def test_property_targets_scale_with_y(scale):
+    rng = np.random.default_rng(0)
+    feats = rng.normal(size=(2, 12, 3))
+    y = rng.uniform(1, 2, size=(2, 12))
+    _, t1, _ = build_windows(feats, y, 3, 2)
+    _, t2, _ = build_windows(feats, y * scale, 3, 2)
+    np.testing.assert_allclose(t2, t1 * scale, rtol=1e-9)

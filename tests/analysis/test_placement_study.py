@@ -1,0 +1,65 @@
+"""Placement-policy study."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.placement_study import (
+    PlacementStudy,
+    PlacementTrial,
+    placement_study,
+    render_placement_study,
+)
+
+
+@pytest.fixture(scope="module")
+def study(tiny_topo):
+    return placement_study(
+        tiny_topo,
+        probe_nodes=16,
+        probe_bytes=10e9,
+        background_nodes=60,
+        background_bytes_per_node=8e8,
+        trials_per_policy=3,
+        seed=1,
+    )
+
+
+def test_all_policies_tried(study):
+    policies = {t.policy for t in study.trials}
+    assert policies == {"contiguous", "random", "clustered"}
+    assert len(study.trials) == 9
+
+
+def test_fragmentation_visible_in_features(study):
+    agg = study.by_policy()
+    # Random placement spans more groups and routers than contiguous.
+    assert agg["random"]["mean_groups"] > agg["contiguous"]["mean_groups"]
+    assert agg["random"]["mean_routers"] >= agg["contiguous"]["mean_routers"]
+
+
+def test_slowdowns_positive(study):
+    for t in study.trials:
+        assert t.fabric_slowdown >= 1.0
+        assert t.endpoint_slowdown >= 1.0
+
+
+def test_fragmentation_cost_defined(study):
+    # Sign depends on the traffic mix; the metric just has to be finite
+    # and computed from both policies.
+    cost = study.fragmentation_cost()
+    assert isinstance(cost, float)
+    assert abs(cost) < 5.0
+
+
+def test_fragmentation_cost_degenerate():
+    s = PlacementStudy(
+        trials=[PlacementTrial("random", 8, 2, 1.2, 1.1)]
+    )
+    assert s.fragmentation_cost() == 0.0
+
+
+def test_render(study):
+    text = render_placement_study(study)
+    assert "fragmentation cost" in text
+    assert "contiguous" in text and "random" in text

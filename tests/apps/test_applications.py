@@ -1,0 +1,193 @@
+"""Application models vs the paper's §III characterisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.amg import AMG
+from repro.apps.milc import MILC, REGULAR_STEPS, WARMUP_STEPS
+from repro.apps.minivite import MiniVite
+from repro.apps.registry import DATASET_KEYS, get_application
+from repro.apps.umt import UMT
+from repro.config import TINY
+from repro.topology.dragonfly import DragonflyTopology
+
+
+@pytest.fixture(scope="module")
+def topo():
+    # Apps need >= num_nodes compute nodes; build a topology large enough
+    # for the 512-node configurations but still quick.
+    return DragonflyTopology(groups=8, row_size=8, col_size=4, nodes_per_router=4)
+
+
+def _nodes_for(topo, app, seed=0):
+    rng = np.random.default_rng(seed)
+    return np.sort(
+        rng.choice(topo.compute_nodes, size=app.num_nodes, replace=False)
+    )
+
+
+def test_registry_covers_table1():
+    assert DATASET_KEYS == [
+        "AMG-128",
+        "AMG-512",
+        "MILC-128",
+        "MILC-512",
+        "miniVite-128",
+        "UMT-128",
+    ]
+    for key in DATASET_KEYS:
+        app = get_application(key)
+        assert app.dataset_key == key
+        app.validate()
+    with pytest.raises(KeyError):
+        get_application("HPL-1024")
+    # Singletons.
+    assert get_application("AMG-128") is get_application("AMG-128")
+
+
+def test_table1_rows():
+    rows = {get_application(k).table1_row() for k in DATASET_KEYS}
+    assert ("AMG", "1.1", 128, "-P 32 16 16 -n 32 32 32 -problem 2") in rows
+    assert ("AMG", "1.1", 512, "-P 32 32 32 -n 32 32 32 -problem 2") in rows
+    assert ("MILC", "7.8.0", 128, "n128_large.in") in rows
+    assert ("MILC", "7.8.0", 512, "n512_large.in") in rows
+    assert ("miniVite", "1.0", 128, "-f nlpkkt240.bin -t 1E-02 -i 6") in rows
+    assert ("UMT", "2.0", 128, "custom_8k.cmg 4 2 4 4 4 0.04") in rows
+
+
+@pytest.mark.parametrize(
+    "key,frac_lo,frac_hi",
+    [
+        ("AMG-128", 0.72, 0.80),  # paper: 76%
+        ("AMG-512", 0.78, 0.86),  # paper: 82%
+        ("MILC-128", 0.85, 0.93),  # paper: ~89%
+        ("MILC-512", 0.85, 0.93),
+        ("miniVite-128", 0.96, 1.0),  # paper: >98%
+        ("UMT-128", 0.26, 0.34),  # paper: ~30%
+    ],
+)
+def test_mpi_fractions_match_paper(key, frac_lo, frac_hi):
+    sm = get_application(key).step_model()
+    assert frac_lo <= sm.mpi_fraction <= frac_hi
+
+
+@pytest.mark.parametrize(
+    "key,steps",
+    [
+        ("AMG-128", 20),
+        ("AMG-512", 20),
+        ("MILC-128", 80),
+        ("MILC-512", 80),
+        ("miniVite-128", 6),
+        ("UMT-128", 7),
+    ],
+)
+def test_step_counts_match_paper(key, steps):
+    assert get_application(key).num_steps == steps
+
+
+def test_milc_warmup_steps_faster():
+    sm = get_application("MILC-128").step_model()
+    total = sm.compute + sm.mpi
+    warm = total[:WARMUP_STEPS].mean()
+    reg = total[WARMUP_STEPS:].mean()
+    assert warm < 0.5 * reg
+    assert WARMUP_STEPS + REGULAR_STEPS == 80
+
+
+def test_amg_weak_scaling_slower_at_512():
+    t128 = get_application("AMG-128").step_model()
+    t512 = get_application("AMG-512").step_model()
+    assert t512.total_mean_time > t128.total_mean_time
+
+
+def test_milc_steps_shorter_than_amg():
+    """Paper §III-B: MILC steps are shorter in duration than AMG's."""
+    amg = get_application("AMG-128").step_model()
+    milc = get_application("MILC-128").step_model()
+    assert milc.mpi.mean() + milc.compute.mean() < amg.mpi.mean() + amg.compute.mean()
+
+
+def test_rank_counts():
+    assert get_application("AMG-128").num_ranks == 8192
+    assert get_application("AMG-512").num_ranks == 32768
+    assert get_application("MILC-512").num_ranks == 32768
+
+
+@pytest.mark.parametrize("key", DATASET_KEYS)
+def test_flow_geometry_valid(topo, key):
+    app = get_application(key)
+    nodes = _nodes_for(topo, app)
+    fs = app.flow_geometry(topo, nodes)
+    assert len(fs) > 0
+    assert fs.total_volume > 0
+    routers = np.unique(topo.node_router(nodes))
+    assert np.isin(fs.src, routers).all()
+    assert np.isin(fs.dst, routers).all()
+
+
+@pytest.mark.parametrize("key", DATASET_KEYS)
+def test_routine_mixes_match_paper_dominants(key):
+    mix = get_application(key).routine_mix()
+    assert sum(mix.values()) == pytest.approx(1.0)
+    if key.startswith("AMG"):
+        assert {"Iprobe", "Test", "Testall", "Waitall", "Allreduce"} <= set(mix)
+    elif key.startswith("MILC"):
+        assert {"Allreduce", "Wait", "Isend", "Irecv"} <= set(mix)
+    elif key.startswith("miniVite"):
+        assert mix["Waitall"] > 0.5  # "almost all of the MPI time"
+    else:  # UMT
+        assert {"Wait", "Barrier", "Allreduce"} <= set(mix)
+
+
+def test_sensitivity_profiles():
+    """Message-size physics: AMG/UMT endpoint-bound, MILC fabric-bound."""
+    amg = get_application("AMG-128")
+    milc = get_application("MILC-128")
+    umt = get_application("UMT-128")
+    assert amg.endpoint_sensitivity > amg.fabric_sensitivity
+    assert umt.endpoint_sensitivity > umt.fabric_sensitivity
+    assert milc.fabric_sensitivity > milc.endpoint_sensitivity
+    # AMG at 512 leans more on the fabric than at 128 (paper Fig. 9).
+    amg512 = get_application("AMG-512")
+    assert amg512.fabric_sensitivity > amg.fabric_sensitivity
+
+
+def test_minivite_intrinsic_variation_largest():
+    sigmas = {k: get_application(k).intensity_sigma for k in DATASET_KEYS}
+    assert max(sigmas, key=sigmas.get) == "miniVite-128"
+
+
+def test_blended_slowdown():
+    app = get_application("MILC-128")
+    assert app.blended_slowdown(1.0, 1.0) == pytest.approx(1.0)
+    s = app.blended_slowdown(2.0, 1.0)
+    assert s == pytest.approx(1.0 + app.fabric_sensitivity)
+    # Fabric congestion hurts MILC more than endpoint congestion.
+    assert app.blended_slowdown(2.0, 1.0) > app.blended_slowdown(1.0, 2.0)
+
+
+def test_invalid_node_counts():
+    for cls, bad in ((AMG, 64), (MILC, 256), (MiniVite, 512), (UMT, 512)):
+        with pytest.raises(ValueError):
+            cls(bad)
+    with pytest.raises(ValueError):
+        AMG(0)
+
+
+def test_minivite_phase_cached():
+    mv = get_application("miniVite-128")
+    assert mv.phase is mv.phase  # lru_cache returns the same object
+
+
+def test_step_model_validation():
+    from repro.apps.base import StepModel
+
+    with pytest.raises(ValueError):
+        StepModel(np.ones(3), np.ones(4), np.ones(3))
+    with pytest.raises(ValueError):
+        StepModel(np.ones(3), -np.ones(3), np.ones(3))
+    sm = StepModel(np.ones(3), np.ones(3) * 3, np.ones(3))
+    assert sm.mpi_fraction == pytest.approx(0.75)

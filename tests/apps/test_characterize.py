@@ -1,0 +1,69 @@
+"""Communication characterisation matches the paper's §III-B prose."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.characterize import characterize, characterize_all, render_profiles
+from repro.apps.registry import get_application
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    return {p.key: p for p in characterize_all()}
+
+
+def test_all_datasets_characterised(profiles):
+    assert set(profiles) == {
+        "AMG-128",
+        "AMG-512",
+        "MILC-128",
+        "MILC-512",
+        "miniVite-128",
+        "UMT-128",
+    }
+    for p in profiles.values():
+        assert p.messages_per_rank_per_step > 0
+        assert p.mean_message_bytes > 0
+        assert p.bytes_per_rank_per_step == pytest.approx(
+            p.messages_per_rank_per_step * p.mean_message_bytes
+        )
+
+
+def test_amg_many_small_messages(profiles):
+    """Paper: 'AMG sends a large number of small-sized messages'."""
+    amg = profiles["AMG-128"]
+    milc = profiles["MILC-128"]
+    assert amg.messages_per_rank_per_step > milc.messages_per_rank_per_step
+    assert amg.mean_message_bytes < milc.mean_message_bytes
+
+
+def test_milc_large_messages(profiles):
+    """Paper: 'MILC sends large point-to-point messages'."""
+    assert profiles["MILC-128"].mean_message_bytes > 4096
+
+
+def test_umt_sparse_but_serialised(profiles):
+    umt = profiles["UMT-128"]
+    # Few messages per step compared with AMG's multigrid chatter.
+    assert umt.messages_per_rank_per_step < profiles["AMG-128"].messages_per_rank_per_step
+    assert "wavefront" in umt.notes
+
+
+def test_minivite_irregular(profiles):
+    assert "Louvain" in profiles["miniVite-128"].pattern
+    assert "data-dependent" in profiles["miniVite-128"].notes
+
+
+def test_render(profiles):
+    text = render_profiles(list(profiles.values()))
+    assert "msgs/rank/step" in text
+    assert "MILC-512" in text
+
+
+def test_unknown_app_type():
+    class Fake:
+        pass
+
+    with pytest.raises(TypeError):
+        characterize(Fake())  # type: ignore[arg-type]

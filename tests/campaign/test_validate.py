@@ -1,0 +1,62 @@
+"""Campaign data-contract validation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.campaign.validate import validate_campaign, validate_dataset
+from tests.campaign.test_datasets_properties import _dataset
+
+
+def test_clean_dataset_passes():
+    ds = _dataset(6, 8, seed=0)
+    # The synthetic helper sets routine_times = {'Wait': total}, which does
+    # not equal the MPI time; patch it to satisfy the contract.
+    for r in ds.runs:
+        r.routine_times = {"Wait": float(r.mpi_times.sum())}
+    rep = validate_dataset(ds)
+    assert rep.ok, rep.messages
+    assert rep.failed() == []
+
+
+def test_violations_detected():
+    ds = _dataset(6, 8, seed=1)
+    for r in ds.runs:
+        r.routine_times = {"Wait": float(r.mpi_times.sum())}
+    # Break several invariants.
+    ds.runs[0].step_times[2] = -1.0
+    ds.runs[1].counters[0, 0] = np.nan
+    ds.runs[2].num_groups = 999
+    ds.runs[3].neighborhood = ["eve@example.com"]
+    rep = validate_dataset(ds)
+    assert not rep.ok
+    failed = set(rep.failed())
+    assert "positive-times" in failed
+    assert "counters-finite" in failed
+    assert "groups-le-routers" in failed
+    assert "neighborhood-anonymised" in failed
+
+
+def test_split_consistency_check():
+    ds = _dataset(5, 6, seed=2)
+    for r in ds.runs:
+        r.routine_times = {"Wait": float(r.mpi_times.sum())}
+    ds.runs[0].compute_times = ds.runs[0].compute_times * 2
+    rep = validate_dataset(ds)
+    assert "split-consistent" in rep.failed()
+
+
+def test_min_runs():
+    ds = _dataset(2, 4, seed=3)
+    for r in ds.runs:
+        r.routine_times = {"Wait": float(r.mpi_times.sum())}
+    rep = validate_dataset(ds, min_runs=3)
+    assert "has-runs" in rep.failed()
+
+
+def test_real_campaign_validates(tiny_campaign):
+    reports = validate_campaign(tiny_campaign)
+    assert len(reports) >= 6
+    for key, rep in reports.items():
+        assert rep.ok, f"{key}: {rep.messages}"

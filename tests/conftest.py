@@ -1,0 +1,41 @@
+"""Shared fixtures: a tiny dragonfly and helpers used across test modules."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import TINY, rng_for
+from repro.network.engine import CongestionEngine
+from repro.topology.dragonfly import DragonflyTopology
+from repro.topology.routing import AdaptiveRouter
+
+
+@pytest.fixture(scope="session")
+def tiny_topo() -> DragonflyTopology:
+    """6 groups x (4x3) routers x 2 nodes = 144 nodes."""
+    return DragonflyTopology.from_preset(TINY)
+
+
+@pytest.fixture(scope="session")
+def tiny_router(tiny_topo) -> AdaptiveRouter:
+    return AdaptiveRouter(tiny_topo)
+
+
+@pytest.fixture(scope="session")
+def tiny_engine(tiny_topo) -> CongestionEngine:
+    return CongestionEngine(tiny_topo)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return rng_for("tests")
+
+
+@pytest.fixture(scope="session")
+def tiny_campaign():
+    """One shared test-scale campaign (a few seconds to generate)."""
+    from repro.campaign.runner import CampaignConfig, CampaignRunner
+
+    cfg = CampaignConfig.tiny(use_cache=False)
+    return CampaignRunner(cfg).run()

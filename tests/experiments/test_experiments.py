@@ -1,0 +1,174 @@
+"""End-to-end experiment drivers against the shared tiny campaign."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.context import long_run_key
+from repro.network.counters import APP_COUNTERS
+
+
+def test_registry_covers_all_paper_artifacts():
+    from repro.experiments import PAPER_EXPERIMENTS
+
+    assert set(PAPER_EXPERIMENTS) == {
+        "table01",
+        "table02",
+        "table03",
+        "fig01",
+        "fig03",
+        "fig04",
+        "fig05",
+        "fig07",
+        "fig08",
+        "fig09",
+        "fig10",
+        "fig11",
+        "fig12",
+    }
+    extras = set(EXPERIMENTS) - set(PAPER_EXPERIMENTS)
+    assert extras == {
+        "extra-comm",
+        "extra-routing",
+        "extra-whatif",
+        "extra-sysforecast",
+        "extra-placement",
+        "extra-contention",
+    }
+    with pytest.raises(KeyError):
+        run_experiment("fig99")
+
+
+def test_extras_run_fast(tiny_campaign):
+    comm = run_experiment("extra-comm")
+    assert "msgs/rank/step" in comm.text
+    routing = run_experiment("extra-routing", fast=True)
+    assert "adversary" in routing.text
+    whatif = run_experiment("extra-whatif", campaign=tiny_campaign)
+    assert "aggressors" in whatif.text
+    sysf = run_experiment("extra-sysforecast", campaign=tiny_campaign, fast=True)
+    assert "persistence" in sysf.text.lower()
+    placement = run_experiment("extra-placement", fast=True)
+    assert "fragmentation cost" in placement.text
+    contention = run_experiment("extra-contention", fast=True)
+    assert "hotspot-job" in contention.text
+
+
+def test_table01_static():
+    res = run_experiment("table01")
+    assert len(res.data["rows"]) == 6
+    assert "nlpkkt240" in res.render()
+
+
+def test_table02_static():
+    res = run_experiment("table02")
+    assert len(res.data["rows"]) == 13
+    assert "RT_RB_STL" in res.text
+    assert "AR_RTR_PT_COLBUF_PERF_STALL_RQ" in res.text
+
+
+def test_table03_on_tiny(tiny_campaign):
+    res = run_experiment("table03", campaign=tiny_campaign)
+    assert "recovery rate" in res.text.lower()
+    assert set(res.data["table"]) == {
+        "AMG-128",
+        "AMG-512",
+        "MILC-128",
+        "MILC-512",
+        "miniVite-128",
+        "UMT-128",
+    }
+
+
+def test_fig01_series(tiny_campaign):
+    res = run_experiment("fig01", campaign=tiny_campaign)
+    for key, s in res.data["series"].items():
+        assert s["relative"].min() >= 1.0
+        assert (np.diff(s["time"]) >= 0).all()
+
+
+def test_fig03_trends(tiny_campaign):
+    res = run_experiment("fig03", campaign=tiny_campaign)
+    trends = res.data["trends"]
+    assert len(trends["MILC-128"]) == 80
+    # Warmup visible.
+    assert trends["MILC-128"][:20].mean() < trends["MILC-128"][20:].mean()
+    # AMG weak scaling: 512 slower per step.
+    assert trends["AMG-512"].mean() > trends["AMG-128"].mean()
+
+
+def test_fig04_fig05_breakdowns(tiny_campaign):
+    r4 = run_experiment("fig04", campaign=tiny_campaign)
+    assert r4.data["MILC-512"]["mpi"]["worst"] >= r4.data["MILC-512"]["mpi"]["best"]
+    # Compute time is stable (no OS noise): spread < 5%.
+    comp = r4.data["AMG-512"]["compute"]
+    assert abs(comp["worst"] - comp["best"]) < 0.1 * comp["average"]
+    r5 = run_experiment("fig05", campaign=tiny_campaign)
+    assert r5.data["miniVite-128"]["mpi_fraction"] > 0.95
+    assert 0.2 < r5.data["UMT-128"]["mpi_fraction"] < 0.55
+    # miniVite MPI time is nearly all Waitall.
+    rt = r5.data["miniVite-128"]["routines"]
+    assert rt["Waitall"]["average"] > 0.6 * r5.data["miniVite-128"]["mpi"]["average"]
+
+
+def test_fig07_counter_trends(tiny_campaign):
+    res = run_experiment("fig07", campaign=tiny_campaign)
+    corr = res.data["correlations"]
+    # Fig. 7's claim: mean counter trends mirror the mean time trend.
+    # (The tiny campaign has few runs, so the stall-counter trend is noisy;
+    # the benchmark-scale campaign asserts tighter correlations.)
+    assert corr["RT_FLIT_TOT"] > 0.7
+    assert corr["RT_RB_STL"] > 0.25
+
+
+def test_fig09_relevance_fast(tiny_campaign):
+    res = run_experiment("fig09", campaign=tiny_campaign, fast=True)
+    assert res.data["scores"].shape[1] == len(APP_COUNTERS)
+    assert (res.data["scores"] >= 0).all() and (res.data["scores"] <= 1).all()
+    assert len(res.data["keys"]) >= 4
+
+
+def test_fig08_grid_fast(tiny_campaign):
+    res = run_experiment("fig08", campaign=tiny_campaign, fast=True)
+    grid = res.data["grid"]
+    assert "AMG-128" in grid
+    cells = grid["AMG-128"]
+    assert {(r.m, r.k) for r in cells} == {(3, 5), (3, 10), (8, 5), (8, 10)}
+    assert all(r.mape > 0 for r in cells)
+    assert {r.tier for r in cells} == {"app", "app+placement"}
+
+
+def test_fig10_grid_fast(tiny_campaign):
+    res = run_experiment("fig10", campaign=tiny_campaign, fast=True)
+    grid = res.data["grid"]
+    assert "MILC-128" in grid
+    tiers = {r.tier for r in grid["MILC-128"]}
+    assert "app+placement+io+sys" in tiers
+
+
+def test_fig11_importances_fast(tiny_campaign):
+    res = run_experiment("fig11", campaign=tiny_campaign, fast=True)
+    assert "MILC-128" in res.data
+    d = res.data["MILC-128"]
+    assert len(d["names"]) == 23
+    assert d["importances"].sum() == pytest.approx(1.0, abs=1e-6)
+
+
+def test_fig12_longrun_fast(tiny_campaign):
+    assert long_run_key(tiny_campaign) is not None
+    res = run_experiment("fig12", campaign=tiny_campaign, fast=True)
+    assert len(res.data["observed"]) == len(res.data["predicted"])
+    assert len(res.data["observed"]) >= 2
+    assert res.data["mape"] > 0
+
+
+def test_cli_smoke(tiny_campaign, capsys, monkeypatch):
+    from repro.experiments.__main__ import main
+
+    # table01/table02 need no campaign.
+    assert main(["table01"]) == 0
+    assert main(["table02"]) == 0
+    out = capsys.readouterr().out
+    assert "Table I" in out and "Table II" in out

@@ -1,0 +1,103 @@
+"""Result export and campaign inspection utilities."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.campaign.inspect import (
+    render_summary,
+    summarize_campaign,
+    summarize_dataset,
+)
+from repro.campaign.datasets import RunDataset
+from repro.experiments import run_experiment
+from repro.experiments.export import _jsonable, export_result
+from repro.experiments.report import ExperimentResult
+
+
+def test_jsonable_handles_numpy_and_dataclasses():
+    from repro.analysis.forecasting import ForecastResult
+
+    payload = {
+        "arr": np.arange(3),
+        "f": np.float64(1.5),
+        "i": np.int64(7),
+        "nested": [ForecastResult("k", 1, 2, "app", 3.0)],
+        "none": None,
+    }
+    out = _jsonable(payload)
+    assert out["arr"] == [0, 1, 2]
+    assert out["f"] == 1.5
+    assert out["i"] == 7
+    assert out["nested"][0]["mape"] == 3.0
+    # Round-trips through json.
+    json.dumps(out)
+
+
+def test_export_result_writes_files(tmp_path):
+    res = run_experiment("table01")
+    paths = export_result(res, tmp_path)
+    names = {p.name for p in paths}
+    assert names == {"table01.json", "table01.txt", "table01.csv"}
+    data = json.loads((tmp_path / "table01.json").read_text())
+    assert data["exp_id"] == "table01"
+    assert len(data["data"]["rows"]) == 6
+    csv_text = (tmp_path / "table01.csv").read_text()
+    assert "nlpkkt240" in csv_text
+
+
+def test_export_without_rows(tmp_path):
+    res = ExperimentResult("figX", "t", data={"x": np.ones(2)}, text="body")
+    paths = export_result(res, tmp_path)
+    assert {p.suffix for p in paths} == {".json", ".txt"}
+
+
+def test_cli_export_flag(tmp_path, capsys):
+    from repro.experiments.__main__ import main
+
+    assert main(["table02", "--export", str(tmp_path)]) == 0
+    assert (tmp_path / "table02.json").exists()
+    assert "wrote" in capsys.readouterr().out
+
+
+# --------------------------------------------------------------------- #
+# inspect
+# --------------------------------------------------------------------- #
+
+
+def test_summarize_campaign(tiny_campaign):
+    summaries = summarize_campaign(tiny_campaign)
+    keys = {s.key for s in summaries}
+    assert "MILC-128" in keys
+    for s in summaries:
+        assert s.runs >= 1
+        assert s.worst_over_best >= 1.0
+        assert 0 <= s.optimal_fraction <= 1
+        assert 0 < s.mpi_fraction < 1
+        assert s.mean_num_routers >= s.mean_num_groups
+    text = render_summary(summaries)
+    assert "worst/best" in text
+    assert "MILC-128" in text
+
+
+def test_summarize_empty_raises():
+    with pytest.raises(ValueError):
+        summarize_dataset(RunDataset(key="EMPTY"))
+
+
+def test_campaign_cli_fast(tiny_campaign, capsys, monkeypatch, tmp_path):
+    """The CLI path, against a pre-cached tiny campaign."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    from repro.campaign.runner import CampaignConfig
+
+    # Seed the cache so the CLI loads instead of regenerating.
+    tiny_campaign.save(CampaignConfig.tiny().fingerprint())
+    from repro.campaign.__main__ import main
+
+    assert main(["--fast"]) == 0
+    out = capsys.readouterr().out
+    assert "fingerprint" in out
+    assert "ground-truth aggressors" in out

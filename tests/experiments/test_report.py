@@ -1,0 +1,70 @@
+"""Report rendering primitives."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments.report import (
+    ExperimentResult,
+    ascii_bars,
+    ascii_heatmap,
+    ascii_series,
+    ascii_table,
+)
+
+
+def test_ascii_table_alignment():
+    t = ascii_table(["a", "long header"], [[1, 2], ["xx", "yyyy"]])
+    lines = t.splitlines()
+    assert len(lines) == 4
+    assert "long header" in lines[0]
+    assert lines[1].startswith("-")
+
+
+def test_ascii_series_renders_extremes():
+    x = np.arange(10)
+    y = np.linspace(0, 5, 10)
+    s = ascii_series(x, y, width=20, height=5, label="test")
+    assert "test" in s
+    assert "*" in s
+    assert s.count("\n") == 6  # label + 5 rows + axis
+
+
+def test_ascii_series_validation():
+    with pytest.raises(ValueError):
+        ascii_series(np.arange(3), np.arange(4))
+    with pytest.raises(ValueError):
+        ascii_series(np.empty(0), np.empty(0))
+
+
+def test_ascii_series_constant():
+    s = ascii_series(np.arange(5), np.ones(5))
+    assert "*" in s
+
+
+def test_ascii_bars():
+    s = ascii_bars(["aa", "b"], np.array([2.0, 1.0]), width=10)
+    lines = s.splitlines()
+    assert lines[0].count("#") == 10
+    assert lines[1].count("#") == 5
+    with pytest.raises(ValueError):
+        ascii_bars(["a"], np.array([1.0, 2.0]))
+
+
+def test_ascii_bars_zero():
+    s = ascii_bars(["a"], np.array([0.0]))
+    assert "#" not in s
+
+
+def test_ascii_heatmap():
+    s = ascii_heatmap(["r1", "r2"], ["c1", "c2", "c3"], np.arange(6).reshape(2, 3))
+    assert "r1" in s and "c3" in s and "5.00" in s
+    with pytest.raises(ValueError):
+        ascii_heatmap(["r1"], ["c1"], np.ones((2, 2)))
+
+
+def test_experiment_result_render():
+    r = ExperimentResult(exp_id="figX", title="Test", text="body")
+    assert r.render().startswith("== figX: Test ==")
+    assert "body" in r.render()

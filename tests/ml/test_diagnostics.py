@@ -1,0 +1,76 @@
+"""Model diagnostics utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.diagnostics import (
+    interval_coverage,
+    learning_curve,
+    residual_report,
+)
+from repro.ml.linear import RidgeRegressor
+
+
+def test_residual_report_perfect():
+    y = np.linspace(1, 10, 50)
+    rep = residual_report(y, y)
+    assert rep.mae == 0.0
+    assert rep.r2 == 1.0
+    assert rep.is_unbiased()
+    np.testing.assert_allclose(rep.quantiles, 0.0)
+
+
+def test_residual_report_biased():
+    y = np.linspace(10, 20, 50)
+    rep = residual_report(y, y + 5.0)
+    assert rep.mean_error == pytest.approx(5.0)
+    assert not rep.is_unbiased()
+
+
+def test_residual_heteroscedasticity_detected():
+    rng = np.random.default_rng(0)
+    y = np.linspace(1, 100, 500)
+    pred = y + rng.normal(0, 1, 500) * (y / 20)  # errors grow with level
+    rep = residual_report(y, pred)
+    assert rep.error_vs_level > 0.3
+
+
+def test_residual_validation():
+    with pytest.raises(ValueError):
+        residual_report(np.ones(3), np.ones(4))
+    with pytest.raises(ValueError):
+        residual_report(np.empty(0), np.empty(0))
+
+
+def test_learning_curve_improves_with_data():
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=(400, 5))
+    y = x @ np.array([3, 0, -2, 0, 1.0]) + 0.3 * rng.normal(size=400)
+
+    def factory(seed):
+        return RidgeRegressor(alpha=1.0)
+
+    curve = learning_curve(factory, x, y, fractions=(0.1, 1.0), seed=2)
+    assert len(curve) == 2
+    sizes = [c[0] for c in curve]
+    assert sizes[1] > sizes[0]
+    # More data should not make a well-specified model much worse.
+    assert curve[1][1] <= curve[0][1] * 1.5
+
+
+def test_learning_curve_validation():
+    with pytest.raises(ValueError):
+        learning_curve(lambda s: RidgeRegressor(), np.ones((4, 2)), np.ones(4))
+
+
+def test_interval_coverage():
+    y = np.array([100.0, 100.0, 100.0, 100.0])
+    pred = np.array([100.0, 105.0, 120.0, 95.0])
+    cov = interval_coverage(y, pred, width_fraction=0.10)
+    # 100 within [90,110]; 105 -> [94.5,115.5] ok; 120 -> [108,132] miss;
+    # 95 -> [85.5,104.5] ok.
+    assert cov == pytest.approx(3 / 4)
+    with pytest.raises(ValueError):
+        interval_coverage(np.ones(2), np.ones(3))

@@ -1,0 +1,73 @@
+"""Random forest regressor."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.metrics import r2_score
+from repro.ml.tree import DecisionTreeRegressor
+
+
+@pytest.fixture(scope="module")
+def problem():
+    rng = np.random.default_rng(0)
+    n = 1200
+    x = rng.uniform(-1, 1, size=(n, 6))
+    y = (
+        np.sin(3 * x[:, 0])
+        + x[:, 1] ** 2
+        + 0.5 * x[:, 3]
+        + 0.1 * rng.normal(size=n)
+    )
+    return x[:900], y[:900], x[900:], y[900:]
+
+
+def test_forest_beats_single_tree(problem):
+    xtr, ytr, xte, yte = problem
+    tree = DecisionTreeRegressor(max_depth=6).fit(xtr, ytr)
+    forest = RandomForestRegressor(n_estimators=40, random_state=1).fit(xtr, ytr)
+    assert r2_score(yte, forest.predict(xte)) > r2_score(yte, tree.predict(xte)) - 0.02
+    assert r2_score(yte, forest.predict(xte)) > 0.8
+
+
+def test_forest_importances_identify_signal(problem):
+    xtr, ytr, _, _ = problem
+    forest = RandomForestRegressor(n_estimators=40, random_state=2).fit(xtr, ytr)
+    imp = forest.feature_importances_
+    assert imp.sum() == pytest.approx(1.0)
+    # Noise features (2, 4, 5) get less mass than signal features (0, 1, 3).
+    assert imp[[0, 1, 3]].sum() > imp[[2, 4, 5]].sum()
+
+
+def test_forest_deterministic(problem):
+    xtr, ytr, xte, _ = problem
+    a = RandomForestRegressor(n_estimators=10, random_state=7).fit(xtr, ytr)
+    b = RandomForestRegressor(n_estimators=10, random_state=7).fit(xtr, ytr)
+    np.testing.assert_array_equal(a.predict(xte), b.predict(xte))
+
+
+def test_forest_validation():
+    with pytest.raises(ValueError):
+        RandomForestRegressor(n_estimators=0)
+    with pytest.raises(ValueError):
+        RandomForestRegressor(max_features=0)
+    with pytest.raises(ValueError):
+        RandomForestRegressor().fit(np.ones(5), np.ones(5))
+    with pytest.raises(RuntimeError):
+        RandomForestRegressor().predict(np.ones((3, 2)))
+
+
+def test_forest_agrees_with_gbr_on_deviation_signal():
+    """Robustness check for Fig. 9: an uncorrelated ensemble ranks the
+    same counter on top as the boosted one."""
+    from repro.ml.gbr import GradientBoostedRegressor
+
+    rng = np.random.default_rng(3)
+    x = rng.normal(size=(800, 13))
+    y = 3 * x[:, 3] + 0.2 * rng.normal(size=800)  # counter #3 drives
+    forest = RandomForestRegressor(n_estimators=30, random_state=4).fit(x, y)
+    gbr = GradientBoostedRegressor(n_estimators=40).fit(x, y)
+    assert int(np.argmax(forest.feature_importances_)) == 3
+    assert int(np.argmax(gbr.feature_importances_)) == 3

@@ -1,0 +1,57 @@
+"""Ridge regression baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ml.linear import RidgeForecaster, RidgeRegressor
+from repro.ml.metrics import r2_score
+
+
+def test_ridge_recovers_linear_model():
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(500, 4))
+    y = 3 * x[:, 0] - 2 * x[:, 2] + 5 + 0.05 * rng.normal(size=500)
+    model = RidgeRegressor(alpha=1e-6).fit(x, y)
+    assert r2_score(y, model.predict(x)) > 0.99
+    imp = model.feature_importances_
+    assert imp.sum() == pytest.approx(1.0)
+    assert np.argmax(imp) == 0
+    assert imp[2] > imp[1]
+
+
+def test_ridge_regularisation_shrinks():
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=(50, 10))
+    y = x[:, 0] + rng.normal(size=50)
+    small = RidgeRegressor(alpha=1e-6).fit(x, y)
+    big = RidgeRegressor(alpha=1e4).fit(x, y)
+    assert np.abs(big.coef_).sum() < np.abs(small.coef_).sum()
+
+
+def test_ridge_validation():
+    with pytest.raises(ValueError):
+        RidgeRegressor(alpha=-1)
+    with pytest.raises(ValueError):
+        RidgeRegressor().fit(np.ones(5), np.ones(5))
+    with pytest.raises(RuntimeError):
+        RidgeRegressor().predict(np.ones((2, 3)))
+
+
+def test_ridge_constant_features_ok():
+    x = np.ones((20, 3))
+    x[:, 0] = np.arange(20)
+    y = 2 * x[:, 0]
+    model = RidgeRegressor(alpha=1e-6).fit(x, y)
+    assert r2_score(y, model.predict(x)) > 0.99
+
+
+def test_ridge_forecaster_windows():
+    rng = np.random.default_rng(2)
+    x = rng.normal(size=(300, 4, 3))
+    y = x[:, -1, 1] * 2 + 1
+    model = RidgeForecaster(alpha=1e-3).fit(x[:200], y[:200])
+    assert r2_score(y[200:], model.predict(x[200:])) > 0.95
+    with pytest.raises(ValueError):
+        RidgeForecaster().fit(np.ones((5, 3)), np.ones(5))

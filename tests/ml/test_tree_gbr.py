@@ -1,0 +1,196 @@
+"""Decision trees and gradient boosting: accuracy and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ml.gbr import GradientBoostedRegressor
+from repro.ml.metrics import r2_score
+from repro.ml.tree import Binner, DecisionTreeRegressor
+
+
+@pytest.fixture(scope="module")
+def friedman():
+    """A Friedman#1-style benchmark regression problem."""
+    rng = np.random.default_rng(7)
+    n = 1500
+    x = rng.uniform(0, 1, size=(n, 8))
+    y = (
+        10 * np.sin(np.pi * x[:, 0] * x[:, 1])
+        + 20 * (x[:, 2] - 0.5) ** 2
+        + 10 * x[:, 3]
+        + 5 * x[:, 4]
+        + rng.normal(0, 0.5, n)
+    )
+    return x[:1000], y[:1000], x[1000:], y[1000:]
+
+
+# --------------------------------------------------------------------- #
+# Binner
+# --------------------------------------------------------------------- #
+
+
+def test_binner_monotone():
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(500, 2))
+    b = Binner(n_bins=16).fit(x)
+    codes = b.transform(x)
+    assert codes.dtype == np.uint8
+    assert codes.max() < 16
+    # Binning preserves order within a feature.
+    order = np.argsort(x[:, 0])
+    assert (np.diff(codes[order, 0].astype(int)) >= 0).all()
+
+
+def test_binner_validation():
+    with pytest.raises(ValueError):
+        Binner(n_bins=1)
+    with pytest.raises(RuntimeError):
+        Binner().transform(np.ones((3, 2)))
+    with pytest.raises(ValueError):
+        Binner().fit(np.ones(5))
+
+
+def test_binner_constant_feature():
+    x = np.ones((50, 1))
+    codes = Binner(8).fit(x).transform(x)
+    assert len(np.unique(codes)) == 1
+
+
+# --------------------------------------------------------------------- #
+# Tree
+# --------------------------------------------------------------------- #
+
+
+def test_tree_fits_step_function():
+    x = np.linspace(0, 1, 200)[:, None]
+    y = (x[:, 0] > 0.5).astype(float) * 10
+    tree = DecisionTreeRegressor(max_depth=2).fit(x, y)
+    pred = tree.predict(x)
+    assert r2_score(y, pred) > 0.99
+
+
+def test_tree_depth_limit():
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=(300, 3))
+    y = rng.normal(size=300)
+    t1 = DecisionTreeRegressor(max_depth=1).fit(x, y)
+    t4 = DecisionTreeRegressor(max_depth=4).fit(x, y)
+    assert t1.node_count <= 3
+    assert t4.node_count > t1.node_count
+
+
+def test_tree_min_samples_leaf():
+    x = np.arange(20, dtype=float)[:, None]
+    y = x[:, 0]
+    tree = DecisionTreeRegressor(max_depth=10, min_samples_leaf=10).fit(x, y)
+    # With min_leaf=10 over 20 samples only one split is possible.
+    assert tree.node_count <= 3
+
+
+def test_tree_constant_target_no_split():
+    x = np.random.default_rng(2).normal(size=(100, 2))
+    y = np.full(100, 3.0)
+    tree = DecisionTreeRegressor().fit(x, y)
+    np.testing.assert_allclose(tree.predict(x), 3.0)
+
+
+def test_tree_importances_find_signal():
+    rng = np.random.default_rng(3)
+    x = rng.normal(size=(800, 5))
+    y = 4 * x[:, 2] + 0.1 * rng.normal(size=800)
+    tree = DecisionTreeRegressor(max_depth=3).fit(x, y)
+    assert np.argmax(tree.feature_importances_) == 2
+    assert tree.feature_importances_.sum() == pytest.approx(1.0)
+
+
+def test_tree_validation():
+    with pytest.raises(ValueError):
+        DecisionTreeRegressor(max_depth=0)
+    with pytest.raises(ValueError):
+        DecisionTreeRegressor(min_samples_leaf=0)
+    with pytest.raises(ValueError):
+        DecisionTreeRegressor().fit(np.ones((5, 2)), np.ones(4))
+    t = DecisionTreeRegressor()
+    t.fit_binned(np.zeros((10, 2), dtype=np.uint8), np.ones(10))
+    with pytest.raises(RuntimeError):
+        t.predict(np.ones((3, 2)))  # fitted on binned data, no binner
+
+
+# --------------------------------------------------------------------- #
+# GBR
+# --------------------------------------------------------------------- #
+
+
+def test_gbr_beats_single_tree(friedman):
+    xtr, ytr, xte, yte = friedman
+    tree = DecisionTreeRegressor(max_depth=3).fit(xtr, ytr)
+    gbr = GradientBoostedRegressor(n_estimators=150, random_state=0).fit(xtr, ytr)
+    r2_tree = r2_score(yte, tree.predict(xte))
+    r2_gbr = r2_score(yte, gbr.predict(xte))
+    assert r2_gbr > r2_tree
+    assert r2_gbr > 0.85
+
+
+def test_gbr_training_loss_decreases(friedman):
+    xtr, ytr, _, _ = friedman
+    gbr = GradientBoostedRegressor(n_estimators=60).fit(xtr, ytr)
+    assert gbr.train_score_[-1] < gbr.train_score_[0]
+
+
+def test_gbr_importances_rank_signal():
+    rng = np.random.default_rng(4)
+    x = rng.normal(size=(1000, 6))
+    y = 5 * x[:, 1] + 1 * x[:, 4] + 0.2 * rng.normal(size=1000)
+    gbr = GradientBoostedRegressor(n_estimators=80).fit(x, y)
+    imp = gbr.feature_importances_
+    assert np.argmax(imp) == 1
+    assert imp[4] > imp[0]
+    assert imp.sum() == pytest.approx(1.0)
+
+
+def test_gbr_staged_predict(friedman):
+    xtr, ytr, xte, yte = friedman
+    gbr = GradientBoostedRegressor(n_estimators=30).fit(xtr, ytr)
+    stages = list(gbr.staged_predict(xte))
+    assert len(stages) == 30
+    np.testing.assert_allclose(stages[-1], gbr.predict(xte))
+    # Test error generally improves over stages.
+    first = r2_score(yte, stages[0])
+    last = r2_score(yte, stages[-1])
+    assert last > first
+
+
+def test_gbr_deterministic(friedman):
+    xtr, ytr, xte, _ = friedman
+    a = GradientBoostedRegressor(n_estimators=20, random_state=5).fit(xtr, ytr)
+    b = GradientBoostedRegressor(n_estimators=20, random_state=5).fit(xtr, ytr)
+    np.testing.assert_array_equal(a.predict(xte), b.predict(xte))
+
+
+def test_gbr_validation():
+    with pytest.raises(ValueError):
+        GradientBoostedRegressor(n_estimators=0)
+    with pytest.raises(ValueError):
+        GradientBoostedRegressor(learning_rate=0)
+    with pytest.raises(ValueError):
+        GradientBoostedRegressor(subsample=0)
+    with pytest.raises(RuntimeError):
+        GradientBoostedRegressor().predict(np.ones((3, 2)))
+
+
+@given(seed=st.integers(0, 100))
+@settings(max_examples=10, deadline=None)
+def test_property_gbr_predictions_bounded_by_target_range(seed):
+    """L2 boosting with shrinkage cannot wildly overshoot the target hull."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(200, 3))
+    y = rng.uniform(-1, 1, size=200)
+    gbr = GradientBoostedRegressor(n_estimators=30, random_state=seed).fit(x, y)
+    pred = gbr.predict(x)
+    margin = 0.5 * (y.max() - y.min() + 1e-9)
+    assert pred.min() >= y.min() - margin
+    assert pred.max() <= y.max() + margin

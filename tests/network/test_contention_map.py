@@ -1,0 +1,63 @@
+"""Link-level contention attribution."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.network.contention_map import contention_map, render_contention
+from repro.network.engine import CongestionEngine
+from repro.network.traffic import FlowSet, router_alltoall_flows
+
+
+@pytest.fixture(scope="module")
+def setup(tiny_topo):
+    engine = CongestionEngine(tiny_topo)
+    rng = np.random.default_rng(0)
+    quiet_nodes = rng.choice(tiny_topo.compute_nodes, size=12, replace=False)
+    quiet = engine.route(router_alltoall_flows(tiny_topo, quiet_nodes, 1e9))
+    # A loud tenant hammering one group pair.
+    rpg = tiny_topo.routers_per_group
+    src = np.arange(rpg)
+    dst = src + 2 * rpg
+    loud = engine.route(FlowSet(src, dst, np.full(rpg, 5e9)))
+    return engine, {"quiet-job": quiet, "loud-job": loud}
+
+
+def test_hot_links_identify_loud_tenant(tiny_topo, setup):
+    engine, tenants = setup
+    cmap = contention_map(tiny_topo, engine, tenants, top_n=8)
+    assert len(cmap.hot_links) == 8
+    # Utilisations sorted descending.
+    utils = [hl.utilisation for hl in cmap.hot_links]
+    assert utils == sorted(utils, reverse=True)
+    # The loud tenant dominates the hottest link and the blame list.
+    assert cmap.hot_links[0].dominant_tenant() == "loud-job"
+    assert cmap.blame(1) == ["loud-job"]
+
+
+def test_shares_normalised(tiny_topo, setup):
+    engine, tenants = setup
+    cmap = contention_map(tiny_topo, engine, tenants, top_n=5)
+    for hl in cmap.hot_links:
+        if hl.shares:
+            assert sum(hl.shares.values()) == pytest.approx(1.0, abs=1e-6)
+        assert hl.kind in {"green", "black", "blue"}
+        assert 0 <= hl.src_router < tiny_topo.num_routers
+
+
+def test_tenant_hot_load_accounting(tiny_topo, setup):
+    engine, tenants = setup
+    cmap = contention_map(tiny_topo, engine, tenants, top_n=6)
+    assert set(cmap.tenant_hot_load) == {"quiet-job", "loud-job"}
+    assert cmap.tenant_hot_load["loud-job"] > cmap.tenant_hot_load["quiet-job"]
+    ranked = cmap.ranked_tenants()
+    assert ranked[0][0] == "loud-job"
+
+
+def test_render(tiny_topo, setup):
+    engine, tenants = setup
+    text = render_contention(contention_map(tiny_topo, engine, tenants, top_n=4))
+    assert "top tenants" in text
+    assert "loud-job" in text
+    assert "GB/s" in text

@@ -1,0 +1,79 @@
+"""sacct text format: hostlist compression and log round-trips."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import rng_for
+from repro.system.jobs import JobRequest
+from repro.system.scheduler import Scheduler
+from repro.telemetry.sacct_format import (
+    compress_nodelist,
+    expand_nodelist,
+    parse_sacct,
+    write_sacct,
+)
+
+
+def test_compress_basic():
+    assert compress_nodelist(np.array([1, 2, 3, 7])) == "nid[00001-00003,00007]"
+    assert compress_nodelist(np.array([5])) == "nid[00005]"
+    assert compress_nodelist(np.array([], dtype=int)) == "nid[]"
+    # Unsorted input is normalised.
+    assert compress_nodelist(np.array([3, 1, 2])) == "nid[00001-00003]"
+
+
+def test_expand_basic():
+    np.testing.assert_array_equal(
+        expand_nodelist("nid[00001-00003,00007]"), [1, 2, 3, 7]
+    )
+    np.testing.assert_array_equal(expand_nodelist("nid[]"), [])
+    with pytest.raises(ValueError):
+        expand_nodelist("host[1-2]")
+    with pytest.raises(ValueError):
+        expand_nodelist("nid[3-1]")
+    with pytest.raises(ValueError):
+        expand_nodelist("nid[x]")
+
+
+@given(st.lists(st.integers(0, 5000), min_size=0, max_size=80, unique=True))
+@settings(max_examples=50, deadline=None)
+def test_property_hostlist_roundtrip(nodes):
+    arr = np.array(sorted(nodes), dtype=np.int64)
+    np.testing.assert_array_equal(expand_nodelist(compress_nodelist(arr)), arr)
+
+
+def test_sacct_roundtrip(tiny_topo):
+    sched = Scheduler(tiny_topo, rng=rng_for("sacct-fmt"))
+    res = sched.schedule(
+        [
+            JobRequest("User-2", "hipmer-job", 0.0, 16, 300.0),
+            JobRequest("User-8", "probe-MILC-128", 10.0, 8, 200.0, is_probe=True),
+        ]
+    )
+    text = write_sacct(res.jobs)
+    assert text.startswith("JobID|User|JobName|")
+    parsed = parse_sacct(text)
+    assert len(parsed) == 2
+    by_user = {p.user: p for p in parsed}
+    orig = {j.user: j for j in res.jobs}
+    for user, p in by_user.items():
+        np.testing.assert_array_equal(p.nodes, orig[user].nodes)
+        assert p.start == pytest.approx(orig[user].start_time, abs=1e-3)
+        rec = p.to_record()
+        assert rec.is_probe == orig[user].is_probe
+        assert rec.num_nodes == orig[user].num_nodes
+
+
+def test_parse_validation():
+    assert parse_sacct("") == []
+    with pytest.raises(ValueError):
+        parse_sacct("Wrong|Header\n")
+    header = "JobID|User|JobName|Submit|Start|End|NNodes|NodeList"
+    with pytest.raises(ValueError):
+        parse_sacct(header + "\n1|u|n|0|0|1|2|nid[00001]\n")  # NNodes mismatch
+    with pytest.raises(ValueError):
+        parse_sacct(header + "\n1|u|n|0|0|1\n")  # short row

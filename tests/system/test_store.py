@@ -1,0 +1,85 @@
+"""Telemetry store: channel invariants and windowed queries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.telemetry.store import Channel, TelemetryStore, store_from_dataset
+
+
+def test_channel_monotone_append():
+    ch = Channel("x")
+    ch.append(1.0, 10.0)
+    ch.append(2.0, 20.0)
+    with pytest.raises(ValueError):
+        ch.append(1.5, 5.0)
+    assert len(ch) == 2
+
+
+def test_channel_window_and_integrate():
+    ch = Channel("x")
+    for t in range(10):
+        ch.append(float(t), 2.0)
+    t, v = ch.window(2.0, 5.0)
+    np.testing.assert_array_equal(t, [2.0, 3.0, 4.0])
+    assert ch.integrate(2.0, 5.0) == pytest.approx(6.0)
+    assert ch.rate(0.0, 10.0) == pytest.approx(2.0)
+    with pytest.raises(ValueError):
+        ch.rate(5.0, 5.0)
+
+
+def test_channel_resample():
+    ch = Channel("x")
+    for t in range(12):
+        ch.append(float(t), 1.0)
+    edges, sums = ch.resample(0.0, 12.0, 4.0)
+    np.testing.assert_array_equal(edges, [0.0, 4.0, 8.0])
+    np.testing.assert_array_equal(sums, [4.0, 4.0, 4.0])
+    with pytest.raises(ValueError):
+        ch.resample(0, 10, 0)
+
+
+def test_store_channels_and_correlation():
+    store = TelemetryStore()
+    rng = np.random.default_rng(0)
+    base = rng.uniform(1, 2, size=100)
+    for i in range(100):
+        store.append_dict(float(i), {"a": base[i], "b": 3 * base[i], "c": 1.0})
+    assert store.names() == ["a", "b", "c"]
+    assert "a" in store and "zz" not in store
+    assert store.correlate("a", "b", 0, 100, 10.0) == pytest.approx(1.0)
+    assert store.correlate("a", "c", 0, 100, 10.0) == 0.0
+
+
+@given(seed=st.integers(0, 50), n=st.integers(1, 50))
+@settings(max_examples=25, deadline=None)
+def test_property_integrate_splits(seed, n):
+    rng = np.random.default_rng(seed)
+    ch = Channel("x")
+    times = np.sort(rng.uniform(0, 100, size=n))
+    for t in times:
+        ch.append(float(t), float(rng.uniform(0, 5)))
+    mid = 50.0
+    total = ch.integrate(0.0, 100.1)
+    assert total == pytest.approx(
+        ch.integrate(0.0, mid) + ch.integrate(mid, 100.1)
+    )
+
+
+def test_store_from_dataset(tiny_campaign):
+    ds = tiny_campaign["UMT-128"]
+    store = store_from_dataset(ds)
+    assert "RT_RB_STL" in store
+    assert "IO_PT_FLIT_TOT" in store
+    assert "step_time" in store
+    ch = store.channel("step_time")
+    assert len(ch) == len(ds) * ds.num_steps
+    # Total recorded step time matches the dataset.
+    assert ch.values.sum() == pytest.approx(ds.totals.sum())
+    # Stall counters co-move with step time on the shared grid.
+    t0, t1 = ch.times.min(), ch.times.max() + 1
+    r = store.correlate("PT_RB_STL_RQ", "step_time", t0, t1, (t1 - t0) / 40)
+    assert r > 0.2

@@ -1,0 +1,110 @@
+"""User population and background workload generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import rng_for
+from repro.system.users import UserArchetype, UserPopulation
+from repro.system.workload import DAY, BackgroundWorkloadGenerator
+
+
+@pytest.fixture(scope="module")
+def population():
+    return UserPopulation.cori_like()
+
+
+def test_ground_truth_aggressors_present(population):
+    """The paper's §V-A de-anonymised users exist with the right traits."""
+    agg = set(population.aggressors)
+    # User-2 (HipMer), User-11 (E3SM), User-9 (FastPM), material science 6/10/14.
+    assert {"User-2", "User-11", "User-9", "User-6", "User-10", "User-14"} <= agg
+    hipmer = population.by_name("User-2")
+    assert hipmer.io_intensity > 2e8  # heavy filesystem traffic
+    assert hipmer.comm_intensity > 5e8
+    fastpm = population.by_name("User-9")
+    assert fastpm.pattern == "allreduce"
+    assert fastpm.io_intensity >= 2e8  # burst buffers
+
+
+def test_benign_users_not_aggressors(population):
+    for i in range(15, 33):
+        assert not population.by_name(f"User-{i}").is_aggressor
+
+
+def test_population_size_realistic(population):
+    assert 25 <= len(population) <= 40
+
+
+def test_by_name_missing(population):
+    with pytest.raises(KeyError):
+        population.by_name("User-999")
+
+
+def test_archetype_validation():
+    with pytest.raises(ValueError):
+        UserArchetype(
+            "u", "w", 1.0, 1.0, "uniform", 1.0, 100.0, 0.5, (4, 8), (0.5,)
+        )
+    with pytest.raises(ValueError):
+        UserArchetype(
+            "u", "w", 1.0, 1.0, "uniform", 1.0, 100.0, 0.5, (4,), (0.7,)
+        )
+    with pytest.raises(ValueError):
+        UserArchetype(
+            "u", "w", -1.0, 1.0, "uniform", 1.0, 100.0, 0.5, (4,), (1.0,)
+        )
+
+
+def test_archetype_sampling(population):
+    rng = rng_for("arch-sample")
+    arch = population.by_name("User-2")
+    sizes = {arch.sample_size(rng) for _ in range(100)}
+    assert sizes <= set(arch.sizes)
+    assert len(sizes) > 1
+    durs = np.array([arch.sample_duration(rng) for _ in range(200)])
+    assert durs.min() > 0
+    # Lognormal mean parameterisation: sample mean near duration_mean.
+    assert np.mean(durs) == pytest.approx(arch.duration_mean, rel=0.3)
+
+
+def test_node_scale_shrinks_jobs():
+    full = UserPopulation.cori_like(node_scale=1.0)
+    half = UserPopulation.cori_like(node_scale=0.5)
+    assert max(half.by_name("User-2").sizes) == max(full.by_name("User-2").sizes) // 2
+
+
+def test_workload_generation_rates(population):
+    rng = rng_for("workload")
+    gen = BackgroundWorkloadGenerator(population, rng)
+    reqs = gen.generate(0.0, 30 * DAY)
+    expected = sum(a.jobs_per_day for a in population.archetypes) * 30
+    assert len(reqs) == pytest.approx(expected, rel=0.2)
+    # Sorted by submission, within the window, background-tagged.
+    times = [r.submit_time for r in reqs]
+    assert times == sorted(times)
+    assert all(0 <= t < 30 * DAY for t in times)
+    assert all(not r.is_probe for r in reqs)
+    assert all(r.traffic_tag.startswith("User-") for r in reqs)
+
+
+def test_workload_max_nodes_clamp(population):
+    rng = rng_for("workload-clamp")
+    gen = BackgroundWorkloadGenerator(population, rng, max_job_nodes=100)
+    reqs = gen.generate(0.0, 10 * DAY)
+    assert max(r.num_nodes for r in reqs) <= 100
+
+
+def test_workload_invalid_window(population):
+    gen = BackgroundWorkloadGenerator(population, rng_for("w"))
+    with pytest.raises(ValueError):
+        gen.generate(10.0, 10.0)
+
+
+def test_workload_reproducible(population):
+    a = BackgroundWorkloadGenerator(population, rng_for("repro")).generate(0, DAY)
+    b = BackgroundWorkloadGenerator(population, rng_for("repro")).generate(0, DAY)
+    assert [(r.user, r.submit_time, r.num_nodes) for r in a] == [
+        (r.user, r.submit_time, r.num_nodes) for r in b
+    ]

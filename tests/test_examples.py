@@ -1,0 +1,52 @@
+"""Smoke tests: examples run end to end on the public API."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def test_examples_exist():
+    names = {p.name for p in EXAMPLES.glob("*.py")}
+    assert "quickstart.py" in names
+    assert len(names) >= 4  # quickstart + three domain scenarios
+
+
+def test_quickstart_runs():
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / "quickstart.py")],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert proc.returncode == 0, proc.stderr
+    out = proc.stdout
+    assert "topology:" in out
+    assert "quiet" in out and "busy" in out
+    assert "fabric slowdown" in out
+    # The busy run must actually be slower than the quiet one.
+    import re
+
+    slows = [float(m) for m in re.findall(r"fabric slowdown\s+([\d.]+)x", out)]
+    assert len(slows) == 2
+    assert slows[1] > slows[0]
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["neighborhood_blame.py", "deviation_counters.py", "forecast_milc.py",
+     "scheduling_whatif.py"],
+)
+def test_domain_examples_compile(name):
+    """Domain examples are import-clean (full runs are minutes-long and
+    exercised via the campaign/analysis test suites)."""
+    path = EXAMPLES / name
+    source = path.read_text()
+    compile(source, str(path), "exec")
+    assert '"""' in source  # documented
+    assert "def main()" in source

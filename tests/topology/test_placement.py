@@ -1,0 +1,93 @@
+"""Allocation policies and placement features (NUM_ROUTERS / NUM_GROUPS)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import TINY, rng_for
+from repro.topology.dragonfly import DragonflyTopology
+from repro.topology.placement import (
+    AllocationPolicy,
+    allocate,
+    job_routers,
+    num_groups_feature,
+    num_routers_feature,
+    placement_features,
+)
+
+
+def test_contiguous_allocation_minimises_fragmentation(tiny_topo):
+    free = tiny_topo.compute_nodes
+    nodes = allocate(tiny_topo, free, 8, AllocationPolicy.CONTIGUOUS)
+    assert len(nodes) == 8
+    # 8 nodes at 2 nodes/router -> exactly 4 routers when contiguous.
+    assert num_routers_feature(tiny_topo, nodes) == 4
+    assert num_groups_feature(tiny_topo, nodes) == 1
+
+
+def test_random_allocation_fragments(tiny_topo):
+    rng = rng_for("placement-test")
+    free = tiny_topo.compute_nodes
+    nodes = allocate(tiny_topo, free, 16, AllocationPolicy.RANDOM, rng)
+    assert len(nodes) == 16
+    assert len(np.unique(nodes)) == 16
+    # Random placement across 144 nodes almost surely spans >1 group.
+    assert num_groups_feature(tiny_topo, nodes) > 1
+    assert num_routers_feature(tiny_topo, nodes) >= 8
+
+
+def test_clustered_allocation_spans_few_groups(tiny_topo):
+    rng = rng_for("placement-test-2")
+    free = tiny_topo.compute_nodes
+    nodes = allocate(tiny_topo, free, 20, AllocationPolicy.CLUSTERED, rng)
+    assert len(nodes) == 20
+    # 20 nodes fit in one group (12 routers x 2 nodes = 24) but clustered
+    # allocation allows minor spill; it must beat random fragmentation.
+    assert num_groups_feature(tiny_topo, nodes) <= 2
+
+
+def test_allocation_respects_free_list(tiny_topo):
+    rng = rng_for("placement-test-3")
+    free = tiny_topo.compute_nodes[::3]
+    for policy in AllocationPolicy:
+        nodes = allocate(tiny_topo, free, 5, policy, rng)
+        assert np.isin(nodes, free).all()
+
+
+def test_allocation_errors(tiny_topo):
+    free = tiny_topo.compute_nodes[:4]
+    with pytest.raises(ValueError):
+        allocate(tiny_topo, free, 5, AllocationPolicy.CONTIGUOUS)
+    with pytest.raises(ValueError):
+        allocate(tiny_topo, free, 0, AllocationPolicy.CONTIGUOUS)
+
+
+def test_placement_features_dict(tiny_topo):
+    nodes = tiny_topo.compute_nodes[:6]
+    feats = placement_features(tiny_topo, nodes)
+    assert set(feats) == {"NUM_ROUTERS", "NUM_GROUPS"}
+    assert feats["NUM_ROUTERS"] == num_routers_feature(tiny_topo, nodes)
+    assert feats["NUM_GROUPS"] == num_groups_feature(tiny_topo, nodes)
+
+
+def test_job_routers_sorted_unique(tiny_topo):
+    nodes = np.array([5, 4, 1, 0])
+    routers = job_routers(tiny_topo, nodes)
+    assert (np.diff(routers) > 0).all()
+
+
+@given(size=st.integers(1, 60), seed=st.integers(0, 100))
+@settings(max_examples=30, deadline=None)
+def test_property_features_bounded(size, seed):
+    topo = DragonflyTopology.from_preset(TINY)
+    rng = np.random.default_rng(seed)
+    nodes = allocate(topo, topo.compute_nodes, size, AllocationPolicy.RANDOM, rng)
+    nr = num_routers_feature(topo, nodes)
+    ng = num_groups_feature(topo, nodes)
+    assert 1 <= ng <= topo.groups
+    assert ng <= nr <= min(size, topo.num_routers)
+    # Pigeonhole lower bound.
+    assert nr >= int(np.ceil(size / topo.nodes_per_router))

@@ -1,0 +1,42 @@
+"""ASCII topology rendering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.topology.render import (
+    render_group,
+    render_group_connectivity,
+    render_utilisation,
+)
+
+
+def test_render_group(tiny_topo):
+    text = render_group(tiny_topo, 0)
+    assert "group 0" in text
+    # Group 0 hosts io routers in column 0.
+    assert "io" in text
+    assert "blue links" in text
+    with pytest.raises(ValueError):
+        render_group(tiny_topo, 99)
+
+
+def test_render_group_compute_only(tiny_topo):
+    text = render_group(tiny_topo, 2)
+    # Non-io groups have only compute routers.
+    assert "io0" not in text
+
+
+def test_render_connectivity(tiny_topo):
+    text = render_group_connectivity(tiny_topo)
+    assert f"{tiny_topo.groups} groups" in text
+    assert " x " in text and " . " in text
+
+
+def test_render_utilisation(tiny_topo):
+    loads = np.zeros(tiny_topo.num_links)
+    loads[: tiny_topo.num_green] = 0.5 * tiny_topo.link_capacity[: tiny_topo.num_green]
+    text = render_utilisation(tiny_topo, loads)
+    assert "green" in text and "blue" in text
+    assert "mean=0.500" in text
