@@ -2,7 +2,10 @@
 
 By default the benches run against the benchmark-scale 120-day campaign
 (generated once and cached on disk; ~3 minutes cold).  Set ``REPRO_FAST=1``
-to smoke the whole harness on the test-scale campaign instead.
+to smoke the whole harness on the test-scale campaign instead, and
+``REPRO_WORKERS=N`` (0 = all cores) to generate a cold campaign on N
+worker processes — the datasets are bit-identical for any worker count,
+so the cache entry is shared either way.
 
 Run:  pytest benchmarks/ --benchmark-only
 """
@@ -29,7 +32,7 @@ def fast() -> bool:
 @pytest.fixture(scope="session")
 def campaign(fast):
     """The campaign every figure bench analyses (cached on disk)."""
-    return run_campaign(experiment_config(fast))
+    return run_campaign(experiment_config(fast), progress=True)
 
 
 @pytest.fixture()

@@ -7,21 +7,26 @@ stalls for bandwidth-bound MILC, processor-tile stalls for small-message
 AMG).
 
 Run:  python examples/deviation_counters.py          (~2 minutes)
+      REPRO_FAST=1 runs it against the shared 6-day test campaign.
 """
 
 from repro.analysis.deviation import deviation_analysis
 from repro.campaign.runner import CampaignConfig, run_campaign
+from repro.experiments.context import fast_requested
 
 
 def main() -> None:
-    cfg = CampaignConfig.tiny(days=12.0, use_cache=True)
+    fast = fast_requested()
+    cfg = CampaignConfig.tiny() if fast else CampaignConfig.tiny(days=12.0)
     print("generating campaign (cached after first run)...")
     camp = run_campaign(cfg)
 
     for key in ("MILC-128", "AMG-128"):
         ds = camp[key]
         res = deviation_analysis(
-            ds, n_splits=min(6, len(ds)), max_samples=1500
+            ds,
+            n_splits=min(3 if fast else 6, len(ds)),
+            max_samples=400 if fast else 1500,
         )
         print(f"\n{key}: deviation-model prediction MAPE = "
               f"{res.prediction_mape:.2f}% (paper target: < 5%)")

@@ -7,20 +7,28 @@ Trains the scalar-dot-product-attention forecaster on a MILC dataset and
 2. forecasts an unseen long MILC run segment by segment.
 
 Run:  python examples/forecast_milc.py          (~2-3 minutes)
+      REPRO_FAST=1 runs it against the shared 6-day test campaign.
 """
 
 from repro.analysis.forecasting import forecast_mape, long_run_forecast
 from repro.campaign.runner import CampaignConfig, run_campaign
-from repro.experiments.context import long_run_key
+from repro.experiments.context import fast_requested, long_run_key
 from repro.ml.attention import AttentionForecaster
+
+#: Fewer training epochs under REPRO_FAST=1 — accuracy degrades but the
+#: pipeline (feature tiers, segment forecasting) is exercised end to end.
+EPOCHS = 12 if fast_requested() else 100
 
 
 def model(seed: int = 0) -> AttentionForecaster:
-    return AttentionForecaster(d_model=16, hidden=32, epochs=100, seed=seed)
+    return AttentionForecaster(d_model=16, hidden=32, epochs=EPOCHS, seed=seed)
 
 
 def main() -> None:
-    cfg = CampaignConfig.tiny(days=12.0, use_cache=True)
+    if fast_requested():
+        cfg = CampaignConfig.tiny()
+    else:
+        cfg = CampaignConfig.tiny(days=12.0)
     print("generating campaign (cached after first run)...")
     camp = run_campaign(cfg)
     ds = camp["MILC-128"]

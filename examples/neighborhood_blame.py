@@ -5,6 +5,7 @@ information neighbourhood analysis and compares the blamed users against
 the campaign's ground-truth aggressors (which the analysis never sees).
 
 Run:  python examples/neighborhood_blame.py          (~1 minute)
+      REPRO_FAST=1 runs it against the shared 6-day test campaign.
 """
 
 from repro.analysis.neighborhood import (
@@ -13,11 +14,19 @@ from repro.analysis.neighborhood import (
     recovery_rate,
 )
 from repro.campaign.runner import CampaignConfig, run_campaign
+from repro.experiments.context import fast_requested
+
+
+def campaign_config() -> CampaignConfig:
+    """12-day test-scale campaign (~12 runs per dataset); under
+    ``REPRO_FAST=1``, the shared 6-day campaign the test suite caches."""
+    if fast_requested():
+        return CampaignConfig.tiny()
+    return CampaignConfig.tiny(days=12.0)
 
 
 def main() -> None:
-    # A 12-day test-scale campaign: ~12 runs per dataset.
-    cfg = CampaignConfig.tiny(days=12.0, use_cache=True)
+    cfg = campaign_config()
     print("generating campaign (cached after first run)...")
     camp = run_campaign(cfg)
 

@@ -7,14 +7,19 @@ an identified aggressor, and what fraction of machine time a delay-aware
 scheduler could recover net of queueing overhead.
 
 Run:  python examples/scheduling_whatif.py          (~1 minute)
+      REPRO_FAST=1 runs it against the shared 6-day test campaign.
 """
 
 from repro.analysis.whatif import scheduling_whatif
 from repro.campaign.runner import CampaignConfig, run_campaign
+from repro.experiments.context import fast_requested
 
 
 def main() -> None:
-    cfg = CampaignConfig.tiny(days=12.0, use_cache=True)
+    if fast_requested():
+        cfg = CampaignConfig.tiny()
+    else:
+        cfg = CampaignConfig.tiny(days=12.0)
     print("generating campaign (cached after first run)...")
     camp = run_campaign(cfg)
 

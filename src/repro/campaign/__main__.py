@@ -1,4 +1,4 @@
-"""CLI: ``python -m repro.campaign [--fast] [--regenerate]``."""
+"""CLI: ``python -m repro.campaign [--fast] [--regenerate] [--workers N]``."""
 
 from __future__ import annotations
 
@@ -21,19 +21,43 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--regenerate",
         action="store_true",
-        help="ignore the disk cache and rebuild from scratch",
+        help="drop the cached entry and rebuild (the fresh campaign is "
+        "cached again)",
     )
     parser.add_argument(
         "--validate",
         action="store_true",
         help="run the data-contract checks on every dataset",
     )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker processes for generation (0 = all cores; overrides "
+        "the REPRO_WORKERS environment variable; output is bit-identical "
+        "for any value)",
+    )
     args = parser.parse_args(argv)
     cfg = CampaignConfig.tiny() if args.fast else CampaignConfig.small()
-    if args.regenerate:
+    if args.workers is not None:
         import dataclasses
+        import os
 
-        cfg = dataclasses.replace(cfg, use_cache=False)
+        os.environ.pop("REPRO_WORKERS", None)
+        cfg = dataclasses.replace(cfg, workers=args.workers)
+    if args.regenerate:
+        # Drop the cached entry (under the saver lock, so a concurrent
+        # generator isn't pulled out from under) and regenerate; the
+        # fresh campaign is saved back, unlike use_cache=False.
+        import shutil
+
+        from repro.campaign.datasets import Campaign
+
+        with Campaign.cache_lock(cfg.fingerprint()):
+            root = Campaign.cache_dir() / cfg.fingerprint()
+            if root.exists():
+                shutil.rmtree(root)
     campaign = run_campaign(cfg, progress=True)
     print(f"campaign fingerprint: {cfg.fingerprint()}")
     print(render_summary(summarize_campaign(campaign)))

@@ -8,7 +8,18 @@ everything the three analyses consume.
 
 Datasets cache to ``.npz`` + JSON under ``REPRO_CACHE_DIR`` (default
 ``./.repro_cache``) keyed by the campaign-config fingerprint, so figures
-and benchmarks share one generation pass.
+and benchmarks share one generation pass.  The cache layer is hardened
+for concurrent users (parallel generation, pytest + a benchmark run
+racing on the same fingerprint):
+
+* every file is written to a temp name and atomically renamed into
+  place, with the ``campaign.json`` manifest written last — readers see
+  either a complete entry or no entry;
+* the manifest carries :data:`CACHE_FORMAT_VERSION`; a mismatching or
+  missing stamp is a cache miss, never a crash;
+* corrupt or truncated entries (half-written ``.npz``, garbled JSON)
+  trigger regeneration with a warning instead of an exception;
+* savers serialise on an inter-process ``flock`` (:class:`FileLock`).
 """
 
 from __future__ import annotations
@@ -16,10 +27,67 @@ from __future__ import annotations
 import datetime as _dt
 import json
 import os
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 
 import numpy as np
+
+#: On-disk cache format version.  Bump when the file layout or manifest
+#: schema changes; it is stamped into every manifest *and* folded into
+#: ``CampaignConfig.fingerprint()``, so old-format entries are simply
+#: never hit (and a manually tampered stamp is a miss, not a crash).
+CACHE_FORMAT_VERSION = 2
+
+
+class FileLock:
+    """Advisory inter-process lock on a file (``flock``-based).
+
+    Used to serialise concurrent savers of the same cache fingerprint
+    (e.g. pytest and a benchmark run both generating the campaign).  On
+    platforms without ``fcntl`` the lock degrades to a no-op — atomic
+    renames still keep readers safe; only write-write races lose the
+    duplicated work.
+    """
+
+    def __init__(self, path: Path) -> None:
+        self.path = Path(path)
+        self._fd: int | None = None
+
+    def acquire(self, blocking: bool = True) -> bool:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        fd = os.open(self.path, os.O_RDWR | os.O_CREAT, 0o644)
+        try:
+            import fcntl
+        except ImportError:  # pragma: no cover - non-POSIX fallback
+            self._fd = fd
+            return True
+        flags = fcntl.LOCK_EX | (0 if blocking else fcntl.LOCK_NB)
+        try:
+            fcntl.flock(fd, flags)
+        except OSError:
+            os.close(fd)
+            return False
+        self._fd = fd
+        return True
+
+    def release(self) -> None:
+        if self._fd is not None:
+            os.close(self._fd)  # closing the fd drops the flock
+            self._fd = None
+
+    def __enter__(self) -> "FileLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+def _atomic_write_text(path: Path, text: str) -> None:
+    tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
+    tmp.write_text(text)
+    os.replace(tmp, path)
 
 from repro.network.counters import (
     APP_COUNTERS,
@@ -176,29 +244,37 @@ class RunDataset:
     def save(self, path: Path) -> None:
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
-        np.savez_compressed(
-            path.with_suffix(".npz"),
-            step_times=self.Y,
-            compute_times=np.stack([r.compute_times for r in self.runs]),
-            mpi_times=np.stack([r.mpi_times for r in self.runs]),
-            counters=self.X,
-            ldms=self.ldms,
-            placement=self.placement,
-            start_times=self.start_times,
-        )
+        npz_path = path.with_suffix(".npz")
+        tmp = npz_path.with_name(f"{npz_path.name}.tmp{os.getpid()}")
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(
+                fh,
+                step_times=self.Y,
+                compute_times=np.stack([r.compute_times for r in self.runs]),
+                mpi_times=np.stack([r.mpi_times for r in self.runs]),
+                counters=self.X,
+                ldms=self.ldms,
+                placement=self.placement,
+                start_times=self.start_times,
+            )
+        os.replace(tmp, npz_path)
         meta = {
             "key": self.key,
             "neighborhoods": [r.neighborhood for r in self.runs],
             "routine_times": [r.routine_times for r in self.runs],
         }
-        path.with_suffix(".json").write_text(json.dumps(meta))
+        _atomic_write_text(path.with_suffix(".json"), json.dumps(meta))
 
     @classmethod
     def load(cls, path: Path) -> "RunDataset":
         path = Path(path)
-        arrays = np.load(path.with_suffix(".npz"))
         meta = json.loads(path.with_suffix(".json").read_text())
         runs = []
+        with np.load(path.with_suffix(".npz")) as npz:
+            # Materialise every array once, inside the context, so a
+            # truncated archive fails *here* (where Campaign.load catches
+            # it) and each member is decompressed a single time.
+            arrays = {name: npz[name] for name in npz.files}
         n = arrays["step_times"].shape[0]
         for i in range(n):
             runs.append(
@@ -240,31 +316,66 @@ class Campaign:
     def cache_dir() -> Path:
         return Path(os.environ.get("REPRO_CACHE_DIR", ".repro_cache"))
 
+    @classmethod
+    def cache_lock(cls, fingerprint: str) -> FileLock:
+        """The inter-process lock serialising savers of ``fingerprint``."""
+        return FileLock(cls.cache_dir() / f"{fingerprint}.lock")
+
     def save(self, fingerprint: str) -> Path:
+        """Write this campaign into the cache, safely.
+
+        Holds the fingerprint's :class:`FileLock` so two concurrent
+        generators (e.g. pytest and a benchmark run) serialise instead of
+        interleaving writes; every file lands via write-then-rename with
+        the manifest last, so concurrent *readers* only ever observe a
+        miss or a complete entry.
+        """
         root = self.cache_dir() / fingerprint
-        root.mkdir(parents=True, exist_ok=True)
-        for key, ds in self.datasets.items():
-            ds.save(root / key)
-        (root / "campaign.json").write_text(
-            json.dumps(
-                {
-                    "keys": list(self.datasets),
-                    "ground_truth_aggressors": self.ground_truth_aggressors,
-                }
+        with self.cache_lock(fingerprint):
+            root.mkdir(parents=True, exist_ok=True)
+            for key, ds in self.datasets.items():
+                ds.save(root / key)
+            _atomic_write_text(
+                root / "campaign.json",
+                json.dumps(
+                    {
+                        "format": CACHE_FORMAT_VERSION,
+                        "keys": list(self.datasets),
+                        "ground_truth_aggressors": self.ground_truth_aggressors,
+                    }
+                ),
             )
-        )
         return root
 
     @classmethod
     def load(cls, fingerprint: str) -> "Campaign | None":
+        """Load a cached campaign, or ``None`` on any kind of miss.
+
+        A missing entry, a format-version mismatch, and a corrupt or
+        truncated entry are all plain misses — the caller regenerates.
+        Corruption additionally warns, since it usually means a writer
+        died mid-save or the cache directory was hand-edited.
+        """
         root = cls.cache_dir() / fingerprint
         manifest = root / "campaign.json"
         if not manifest.exists():
             return None
-        meta = json.loads(manifest.read_text())
         try:
+            meta = json.loads(manifest.read_text())
+            if meta.get("format") != CACHE_FORMAT_VERSION:
+                return None
             datasets = {k: RunDataset.load(root / k) for k in meta["keys"]}
         except FileNotFoundError:
+            return None
+        except Exception as exc:
+            # Any other failure mode (truncated .npz, garbled JSON, bad
+            # shapes) means a broken entry: regenerate rather than crash.
+            warnings.warn(
+                f"discarding corrupt campaign cache entry {root}: "
+                f"{type(exc).__name__}: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
             return None
         return cls(
             datasets=datasets,

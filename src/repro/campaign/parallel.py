@@ -1,0 +1,476 @@
+"""Parallel campaign execution: fan probe-run solves across processes.
+
+The campaign has one inherently serial part — the chronological
+:class:`~repro.campaign.runner.TrafficTimeline` sweep that maintains the
+additive background-traffic accumulators — and a large embarrassingly
+parallel part: routing geometry construction and the per-step solves of
+every probe run.  This module supplies the parallel side:
+
+* a :class:`CampaignPool` wrapping ``concurrent.futures
+  .ProcessPoolExecutor`` (or running everything in-process for
+  ``workers == 1`` — the *same* code path, so serial and parallel output
+  are bit-identical by construction);
+* per-worker environment construction (topology, engine, LDMS sampler,
+  user population) via the pool initializer, so tasks ship only slim
+  specs and **never pickle the runner**;
+* chunked task functions for the three parallel phases:
+
+  1. probe mean contributions (routing geometry per probe placement),
+  2. background-job contributions (batched lookahead for the sweep),
+  3. the per-run step solves, fed with shared *per-window* background
+     snapshots (the accumulator state between two scheduler events)
+     instead of per-step copies.
+
+Determinism: every random draw a worker makes flows through
+:func:`repro.config.rng_for` with per-``(job, step)`` stream labels, and
+each run's steps are solved in step order inside one task.  Worker count,
+chunking, and completion order therefore cannot perturb any stream, and
+``workers=N`` output is bit-identical to ``workers=1`` output.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.config import rng_for
+from repro.network.engine import BaseLoad, CongestionEngine, NetworkState
+from repro.network.counters import synthesize_router_counters
+from repro.network.ldms import LDMSSampler
+from repro.system.users import UserPopulation
+from repro.telemetry.ariesncl import AriesNCL
+from repro.telemetry.mpip import profile_run
+from repro.topology.dragonfly import DragonflyTopology
+
+#: Env hook for the worker-crash regression test: when set, solve tasks
+#: running in a *subprocess* worker die hard (``os._exit``), which must
+#: surface as a clean :class:`CampaignWorkerError`, never a hang.
+_CRASH_ENV = "REPRO_TEST_WORKER_CRASH"
+
+#: Routing-geometry contexts kept alive per worker between the
+#: contribution phase and the solve phase (LRU; rebuilt on miss).
+_CTX_CACHE_CAP = 12
+
+
+class CampaignWorkerError(RuntimeError):
+    """A campaign worker process died or the pool broke."""
+
+
+# --------------------------------------------------------------------------- #
+# Task specs and results (all slim and picklable).
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class ProbeSpec:
+    """What a worker needs to build one probe's routing geometry."""
+
+    pi: int
+    job_id: int
+    key: str
+    long_steps: int | None
+    nodes: np.ndarray
+
+
+@dataclass
+class BgJobSpec:
+    """What a worker needs to solve one background job's contribution."""
+
+    job_id: int
+    user: str
+    nodes: np.ndarray
+
+
+@dataclass
+class RunTask:
+    """One probe run's solve task.
+
+    ``window_ids[step]`` indexes into the shared per-chunk window dict;
+    ``weather[step]`` is the filesystem-weather multiplier at the step's
+    midpoint (the comm "breathing" multiplier is drawn worker-side from
+    the run's own ``rng_for("burst", job_id)`` stream).
+    """
+
+    pi: int
+    job_id: int
+    key: str
+    long_steps: int | None
+    start_time: float
+    nodes: np.ndarray
+    window_ids: np.ndarray
+    weather: np.ndarray
+
+
+@dataclass
+class RunResult:
+    """Everything a solved probe run contributes to its dataset."""
+
+    pi: int
+    step_times: np.ndarray
+    compute_times: np.ndarray
+    mpi_times: np.ndarray
+    counters: np.ndarray
+    ldms: np.ndarray
+    routine_times: dict[str, float]
+
+
+# --------------------------------------------------------------------------- #
+# Worker environment.
+# --------------------------------------------------------------------------- #
+
+
+class WorkerEnv:
+    """Per-process solving state, built once per worker (or borrowed from
+    the parent runner in the in-process ``workers=1`` mode)."""
+
+    def __init__(
+        self,
+        config,
+        topology: DragonflyTopology | None = None,
+        engine: CongestionEngine | None = None,
+        sampler: LDMSSampler | None = None,
+        population: UserPopulation | None = None,
+        in_subprocess: bool = False,
+    ) -> None:
+        from repro.campaign.runner import BackgroundTrafficModel
+
+        self.config = config
+        self.seed = config.seed
+        self.topology = topology or DragonflyTopology(
+            groups=config.preset.groups,
+            row_size=config.preset.rows,
+            col_size=config.preset.cols,
+            nodes_per_router=config.preset.nodes_per_router,
+            io_groups=config.preset.io_groups,
+        )
+        self.engine = engine or CongestionEngine(self.topology)
+        self.sampler = sampler or LDMSSampler(self.topology)
+        self.population = population or UserPopulation.cori_like(
+            node_scale=config.node_scale
+        )
+        self.bg_model = BackgroundTrafficModel(
+            self.topology,
+            self.engine,
+            self.population,
+            config.background_intensity,
+            config.seed,
+        )
+        self.in_subprocess = in_subprocess
+
+
+_ENV: WorkerEnv | None = None
+_CTX_CACHE: "OrderedDict[int, object]" = OrderedDict()
+
+
+def _init_worker(config) -> None:
+    """Pool initializer: build the solving environment in the subprocess."""
+    global _ENV
+    _ENV = WorkerEnv(config, in_subprocess=True)
+    _CTX_CACHE.clear()
+
+
+def _set_local_env(env: WorkerEnv) -> None:
+    """Install a parent-built environment for the in-process serial mode."""
+    global _ENV
+    _ENV = env
+    _CTX_CACHE.clear()
+
+
+def _require_env() -> WorkerEnv:
+    if _ENV is None:  # pragma: no cover - defensive
+        raise CampaignWorkerError("campaign worker environment not initialised")
+    return _ENV
+
+
+def _get_context(spec_job_id: int, key: str, long_steps: int | None,
+                 nodes: np.ndarray, *, keep: bool):
+    """Build (or fetch from the worker-local LRU) one probe's context.
+
+    Context construction is deterministic (no RNG), so a cache hit and a
+    rebuild yield bit-identical solving state.
+    """
+    from repro.apps.registry import get_application
+    from repro.campaign.runner import ProbeRunContext, _long_step_model
+
+    env = _require_env()
+    ctx = _CTX_CACHE.pop(spec_job_id, None)
+    if ctx is None:
+        app = get_application(key)
+        sm = _long_step_model(app, long_steps) if long_steps else app.step_model()
+        ctx = ProbeRunContext(app, env.topology, env.engine, nodes, sm)
+    if keep:
+        _CTX_CACHE[spec_job_id] = ctx
+        while len(_CTX_CACHE) > _CTX_CACHE_CAP:
+            _CTX_CACHE.popitem(last=False)
+    return ctx
+
+
+# --------------------------------------------------------------------------- #
+# Task functions (top-level so they pickle under any start method).
+# --------------------------------------------------------------------------- #
+
+
+def _task_probe_contributions(
+    specs: list[ProbeSpec],
+) -> list[tuple[int, BaseLoad]]:
+    """Mean traffic contributions (as seen by other jobs) per probe."""
+    out = []
+    for spec in specs:
+        ctx = _get_context(
+            spec.job_id, spec.key, spec.long_steps, spec.nodes, keep=True
+        )
+        out.append((spec.pi, ctx.mean_contribution()))
+    return out
+
+
+def _task_bg_contributions(
+    specs: list[BgJobSpec],
+) -> list[tuple[int, BaseLoad, BaseLoad]]:
+    """(steady comm, filesystem) contributions per background job."""
+    env = _require_env()
+    out = []
+    for spec in specs:
+        comm, io = env.bg_model.contribution_for(
+            spec.job_id, spec.user, spec.nodes
+        )
+        out.append((spec.job_id, comm, io))
+    return out
+
+
+def _task_solve_runs(
+    tasks: list[RunTask],
+    windows: dict[int, tuple[BaseLoad, BaseLoad]],
+) -> list[RunResult]:
+    """Solve a chunk of probe runs against shared background windows."""
+    env = _require_env()
+    if env.in_subprocess and os.environ.get(_CRASH_ENV):
+        os._exit(17)  # crash-path regression hook (see _CRASH_ENV)
+    return [_solve_one_run(task, windows, env) for task in tasks]
+
+
+def _solve_one_run(
+    task: RunTask,
+    windows: dict[int, tuple[BaseLoad, BaseLoad]],
+    env: WorkerEnv,
+) -> RunResult:
+    """The per-run solve loop (moved verbatim from the serial runner).
+
+    Steps are solved in step order; every random draw comes from a
+    ``(job_id[, step])``-labelled stream, so the result is independent of
+    which worker runs this and of whatever ran before it.
+    """
+    from repro.apps.registry import get_application
+    from repro.campaign.datasets import LDMS_FEATURES
+    from repro.campaign.runner import (
+        COUNTER_NOISE,
+        _PT_FLIT_FAMILY,
+        _RT_FLIT_FAMILY,
+        _burst_series,
+        _long_step_model,
+    )
+
+    topo = env.topology
+    seed = env.seed
+    app = get_application(task.key)
+    sm = (
+        _long_step_model(app, task.long_steps)
+        if task.long_steps
+        else app.step_model()
+    )
+    ctx = _get_context(task.job_id, task.key, task.long_steps, task.nodes,
+                       keep=False)
+    self_comm = ctx.mean_contribution()
+
+    durations = sm.compute + sm.mpi
+    mids = task.start_time + np.cumsum(durations) - durations / 2
+    burst = _burst_series(mids, rng_for("burst", task.job_id, seed=seed))
+    collector = AriesNCL(
+        topo,
+        ctx.routers,
+        rng=rng_for("ncl", task.job_id, seed=seed),
+        noise=COUNTER_NOISE,
+    )
+    n_steps = sm.num_steps
+    step_t = np.zeros(n_steps)
+    comp_t = np.zeros(n_steps)
+    mpi_t = np.zeros(n_steps)
+    ldms_t = np.zeros((n_steps, len(LDMS_FEATURES)))
+
+    for step in range(n_steps):
+        rng = rng_for("steps", task.job_id, step, seed=seed)
+        b = float(burst[step])
+        w = float(task.weather[step])
+        comm, io = windows[int(task.window_ids[step])]
+        # Background at the step midpoint: comm "breathing" scales the
+        # steady part, the filesystem part follows its own weather; then
+        # this probe's own mean contribution (folded into the timeline
+        # when its start event crossed) is subtracted back out.
+        base = BaseLoad(
+            np.maximum(
+                b * comm.link_loads + w * io.link_loads
+                - b * self_comm.link_loads,
+                0.0,
+            ),
+            np.maximum(b * comm.inj + w * io.inj - b * self_comm.inj, 0.0),
+            np.maximum(b * comm.ej + w * io.ej - b * self_comm.ej, 0.0),
+            np.maximum(b * comm.vc4 + w * io.vc4 - b * self_comm.vc4, 0.0),
+        )
+        vol_noise = float(rng.lognormal(0.0, app.intensity_sigma))
+        intensity = sm.intensity[step] * vol_noise
+        state, fabric_s, endpoint_s = ctx.solve_step(base, intensity)
+
+        blended = app.blended_slowdown(fabric_s, endpoint_s)
+        t_mpi = (
+            sm.mpi[step]
+            * vol_noise
+            * blended
+            * float(rng.lognormal(0.0, app.residual_sigma))
+        )
+        t_comp = sm.compute[step] * float(rng.lognormal(0.0, app.compute_sigma))
+        t_step = t_comp + t_mpi
+
+        rates = synthesize_router_counters(state)
+        # Background-only rates, to split flit-family integration (see
+        # the counter-attribution note in repro.campaign.runner).
+        bg_state = NetworkState(
+            topology=topo,
+            link_loads=base.link_loads,
+            inj=base.inj,
+            ej=base.ej,
+            vc4=base.vc4,
+        )
+        bg_rates = synthesize_router_counters(bg_state)
+        # This step's nominal duration: its own flit volume is (rate x
+        # nominal time), regardless of how long congestion stretched it.
+        t_nominal = float(sm.compute[step] + sm.mpi[step])
+        job_rates = {}
+        for name, total_rate in rates.items():
+            if name in _PT_FLIT_FAMILY:
+                own = np.maximum(total_rate - bg_rates[name], 0.0)
+                job_rates[name] = own * (t_nominal / t_step)
+            elif name in _RT_FLIT_FAMILY:
+                own = np.maximum(total_rate - bg_rates[name], 0.0)
+                job_rates[name] = own * (t_nominal / t_step) + bg_rates[name]
+            else:
+                job_rates[name] = total_rate
+        collector.record_step(step, state, t_step, router_rates=job_rates)
+        ldms_vals = env.sampler.sample(
+            state,
+            ctx.routers,
+            duration=t_step,
+            rng=rng_for("ldms", task.job_id, step, seed=seed),
+            noise=COUNTER_NOISE,
+            router_rates=rates,
+        )
+        step_t[step] = t_step
+        comp_t[step] = t_comp
+        mpi_t[step] = t_mpi
+        ldms_t[step] = [ldms_vals[n] for n in LDMS_FEATURES]
+
+    prof = profile_run(
+        app, comp_t, mpi_t, rng=rng_for("mpip", task.job_id, seed=seed)
+    )
+    return RunResult(
+        pi=task.pi,
+        step_times=step_t,
+        compute_times=comp_t,
+        mpi_times=mpi_t,
+        counters=collector.matrix(),
+        ldms=ldms_t,
+        routine_times=prof.routine_times,
+    )
+
+
+# --------------------------------------------------------------------------- #
+# The pool.
+# --------------------------------------------------------------------------- #
+
+
+class _DoneFuture:
+    """Future-alike for the in-process serial mode."""
+
+    def __init__(self, value) -> None:
+        self._value = value
+
+    def result(self):
+        return self._value
+
+
+class CampaignPool:
+    """Executes campaign tasks on ``workers`` processes.
+
+    ``workers == 1`` runs every task in-process through the *same* task
+    functions (no executor), which is both the fast path for small
+    campaigns and the reference the determinism test compares against.
+    """
+
+    def __init__(self, config, workers: int, env: WorkerEnv | None = None):
+        self.workers = max(1, int(workers))
+        self.parallel = self.workers > 1
+        self._exec: ProcessPoolExecutor | None = None
+        if self.parallel:
+            self._exec = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_init_worker,
+                initargs=(config,),
+            )
+        else:
+            _set_local_env(env or WorkerEnv(config))
+
+    # -- submission ----------------------------------------------------- #
+
+    def _submit(self, fn, *args):
+        if not self.parallel:
+            return _DoneFuture(fn(*args))
+        try:
+            return self._exec.submit(fn, *args)
+        except BrokenProcessPool as exc:  # pragma: no cover - rare
+            raise CampaignWorkerError(
+                "campaign worker pool broke during submission"
+            ) from exc
+
+    def submit_probe_contributions(self, specs: list[ProbeSpec]):
+        return self._submit(_task_probe_contributions, specs)
+
+    def submit_bg_contributions(self, specs: list[BgJobSpec]):
+        return self._submit(_task_bg_contributions, specs)
+
+    def submit_solve(self, tasks: list[RunTask], windows: dict):
+        return self._submit(_task_solve_runs, tasks, windows)
+
+    @staticmethod
+    def result(future):
+        """Unwrap a future, translating worker death into a clean error."""
+        try:
+            return future.result()
+        except BrokenProcessPool as exc:
+            raise CampaignWorkerError(
+                "a campaign worker process died; partial campaign discarded "
+                "(rerun with workers=1 to rule out resource exhaustion)"
+            ) from exc
+
+    # -- lifecycle ------------------------------------------------------ #
+
+    def shutdown(self) -> None:
+        if self._exec is not None:
+            self._exec.shutdown(wait=False, cancel_futures=True)
+            self._exec = None
+
+    def __enter__(self) -> "CampaignPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+def chunked(items: list, n_chunks: int) -> list[list]:
+    """Split ``items`` into at most ``n_chunks`` contiguous chunks."""
+    if not items:
+        return []
+    size = max(1, -(-len(items) // max(1, n_chunks)))
+    return [items[i : i + size] for i in range(0, len(items), size)]

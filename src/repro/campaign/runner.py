@@ -18,22 +18,37 @@ Performance design (the campaign solves ~40k network states):
   (O(#links) per event);
 * each probe run's routing geometry is built once; a step solve is then
   O(#links) vector work plus two ``maximum.reduceat`` passes for the
-  UGAL split — a few milliseconds each.
+  UGAL split — a few milliseconds each;
+* everything *outside* the chronological sweep — per-job traffic routing
+  and every probe run's step solves — fans out over a process pool (see
+  :mod:`repro.campaign.parallel`); ``CampaignConfig.workers`` /
+  ``REPRO_WORKERS`` picks the worker count, and any count produces
+  bit-identical datasets.
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 
 from repro.apps.base import Application, StepModel
 from repro.apps.registry import DATASET_KEYS, get_application
-from repro.campaign.datasets import Campaign, RunDataset, RunRecord
-from repro.config import DEFAULT_SEED, ScalePreset, get_preset, rng_for
-from repro.network.counters import synthesize_router_counters
+from repro.campaign.datasets import (
+    CACHE_FORMAT_VERSION,
+    Campaign,
+    RunDataset,
+    RunRecord,
+)
+from repro.config import (
+    DEFAULT_SEED,
+    ScalePreset,
+    get_preset,
+    resolve_workers,
+    rng_for,
+)
 from repro.network.engine import (
     BaseLoad,
     CongestionEngine,
@@ -52,8 +67,6 @@ from repro.system.jobs import JobRecord, JobRequest
 from repro.system.scheduler import Scheduler
 from repro.system.users import UserPopulation
 from repro.system.workload import DAY, BackgroundWorkloadGenerator
-from repro.telemetry.ariesncl import AriesNCL
-from repro.telemetry.mpip import profile_run
 from repro.telemetry.sacct import SacctLog
 from repro.topology.dragonfly import DragonflyTopology
 from repro.topology.placement import job_routers
@@ -131,6 +144,12 @@ class CampaignConfig:
     long_runs: tuple[tuple[str, int], ...] = (("MILC-128", 620),)
     #: Cache generated datasets on disk.
     use_cache: bool = True
+    #: Worker processes for the parallel generation phases.  ``None``
+    #: defers to the ``REPRO_WORKERS`` environment variable (default 1,
+    #: i.e. in-process); ``0`` means "all cores".  Any value yields
+    #: bit-identical datasets, so this knob is *not* part of the
+    #: fingerprint.
+    workers: int | None = None
 
     # ------------------------------------------------------------------ #
 
@@ -170,6 +189,7 @@ class CampaignConfig:
         payload = json.dumps(
             {
                 "v": _PIPELINE_VERSION,
+                "fmt": CACHE_FORMAT_VERSION,
                 "preset": [
                     self.preset.groups,
                     self.preset.rows,
@@ -241,24 +261,29 @@ class _SegMax:
 
 
 class ProbeRunContext:
-    """Placement-bound solving state for one probe run."""
+    """Placement-bound solving state for one probe run.
+
+    Construction is deterministic (no RNG), so any process can rebuild
+    an identical context from ``(app, topology, engine, nodes)`` — the
+    property the parallel executor relies on.
+    """
 
     def __init__(
         self,
         app: Application,
         topology: DragonflyTopology,
         engine: CongestionEngine,
-        job: JobRecord,
+        nodes: np.ndarray,
         step_model: StepModel,
     ) -> None:
         self.app = app
         self.topology = topology
         self.engine = engine
-        self.job = job
+        self.nodes = nodes
         self.step_model = step_model
-        self.routers = job_routers(topology, job.nodes)
+        self.routers = job_routers(topology, nodes)
 
-        flows = app.flow_geometry(topology, job.nodes)
+        flows = app.flow_geometry(topology, nodes)
         self.flows = flows
         routed = engine.route(flows)
         self.routing = routed.routing
@@ -374,24 +399,24 @@ class BackgroundTrafficModel:
         self.intensity = intensity
         self.seed = seed
 
-    def flows_for(self, job: JobRecord) -> FlowSet:
-        arch = self.population.by_name(job.user)
-        rng = rng_for("bgflows", job.job_id, seed=self.seed)
-        n = job.num_nodes
+    def flows_for(self, job_id: int, user: str, nodes: np.ndarray) -> FlowSet:
+        arch = self.population.by_name(user)
+        rng = rng_for("bgflows", job_id, seed=self.seed)
+        n = len(nodes)
         comm_total = arch.comm_intensity * n * self.intensity
         node_weights = rng.lognormal(0.0, ENDPOINT_SKEW_SIGMA, size=n)
         parts: list[FlowSet] = []
         if arch.pattern == "alltoall":
-            routers = np.unique(self.topology.node_router(job.nodes))
+            routers = np.unique(self.topology.node_router(nodes))
             router_w = np.bincount(
-                np.searchsorted(routers, self.topology.node_router(job.nodes)),
+                np.searchsorted(routers, self.topology.node_router(nodes)),
                 weights=node_weights,
                 minlength=len(routers),
             )
             parts.append(
                 router_alltoall_flows(
                     self.topology,
-                    job.nodes,
+                    nodes,
                     comm_total,
                     arch.response_ratio,
                     weights=router_w + 1e-12,
@@ -401,7 +426,7 @@ class BackgroundTrafficModel:
             parts.append(
                 allreduce_flows(
                     self.topology,
-                    job.nodes,
+                    nodes,
                     bytes_per_node=arch.comm_intensity * self.intensity,
                     response_ratio=arch.response_ratio,
                 )
@@ -410,7 +435,7 @@ class BackgroundTrafficModel:
             parts.append(
                 uniform_random_flows(
                     self.topology,
-                    job.nodes,
+                    nodes,
                     bytes_per_node=arch.comm_intensity * self.intensity,
                     rng=rng,
                     fanout=3,
@@ -418,8 +443,8 @@ class BackgroundTrafficModel:
                     node_weights=node_weights,
                 )
             )
-        # Filesystem traffic is built separately (see contribution()) so
-        # the timeline can modulate it with the bursty I/O weather.
+        # Filesystem traffic is built separately (see contribution_for())
+        # so the timeline can modulate it with the bursty I/O weather.
         return FlowSet.concat(parts)
 
     def _solve_static(self, flows: FlowSet) -> BaseLoad:
@@ -439,25 +464,33 @@ class BackgroundTrafficModel:
             vc4 = np.zeros(r)
         return BaseLoad(link_loads=loads, inj=inj, ej=ej, vc4=vc4)
 
-    def contribution(self, job: JobRecord) -> tuple[BaseLoad, BaseLoad]:
+    def contribution_for(
+        self, job_id: int, user: str, nodes: np.ndarray
+    ) -> tuple[BaseLoad, BaseLoad]:
         """(steady communication, filesystem) contributions of one job.
 
         The I/O part is kept separate so the timeline can modulate it with
-        the bursty filesystem "weather" (see :class:`IOWeather`).
+        the bursty filesystem "weather" (see :class:`IOWeather`).  Takes
+        plain fields rather than a :class:`JobRecord` so worker processes
+        receive slim, picklable specs.
         """
-        comm = self._solve_static(self.flows_for(job))
-        arch = self.population.by_name(job.user)
+        comm = self._solve_static(self.flows_for(job_id, user, nodes))
+        arch = self.population.by_name(user)
         if arch.io_intensity > 0:
             io = self._solve_static(
                 io_flows(
                     self.topology,
-                    job.nodes,
-                    bytes_per_sec=arch.io_intensity * job.num_nodes * self.intensity,
+                    nodes,
+                    bytes_per_sec=arch.io_intensity * len(nodes) * self.intensity,
                 )
             )
         else:
             io = BaseLoad.zeros(self.topology)
         return comm, io
+
+    def contribution(self, job: JobRecord) -> tuple[BaseLoad, BaseLoad]:
+        """Convenience wrapper over :meth:`contribution_for`."""
+        return self.contribution_for(job.job_id, job.user, job.nodes)
 
 
 class IOWeather:
@@ -501,16 +534,23 @@ class IOWeather:
 
 class TrafficTimeline:
     """Chronological sweep over job start/end events with additive
-    accumulators for steady (comm) and weather-modulated (io) traffic."""
+    accumulators for steady (comm) and weather-modulated (io) traffic.
+
+    The sweep is the campaign's one inherently serial pass: callers
+    :meth:`advance` through non-decreasing sample times and
+    :meth:`snapshot` the raw ``(comm, io)`` accumulators whenever events
+    were folded in.  Scalar modulation (the per-run comm "breathing" and
+    the filesystem weather) and the exclusion of a probe's own traffic
+    are applied later, per step, by whichever process solves the run —
+    that is what lets one snapshot be shared by every run in a window.
+    """
 
     def __init__(
         self,
-        contributions: "_LazyContributions",
+        contributions: "_ContributionStore",
         jobs: list[JobRecord],
-        io_weather: IOWeather,
     ):
         self._contrib = contributions
-        self._weather = io_weather
         events: list[tuple[float, int, int]] = []
         for j in jobs:
             events.append((j.start_time, +1, j.job_id))
@@ -518,7 +558,6 @@ class TrafficTimeline:
         events.sort()
         self._events = events
         self._ptr = 0
-        self._active: set[int] = set()
         self._comm: BaseLoad | None = None
         self._io: BaseLoad | None = None
         self._jobs_by_id = {j.job_id: j for j in jobs}
@@ -530,87 +569,83 @@ class TrafficTimeline:
         acc.ej += sign * c.ej
         acc.vc4 += sign * c.vc4
 
-    def base_at(
-        self, t: float, exclude_job_id: int, comm_scale: float = 1.0
-    ) -> BaseLoad:
-        """Aggregate background at time ``t`` minus the excluded job.
-
-        ``comm_scale`` applies the short-timescale comm "breathing" to the
-        steady communication part only; the filesystem part follows its
-        own weather process.  The two fluctuate independently, which is
-        what lets system-wide I/O counters carry *marginal* forecasting
-        information beyond the job-local counters (paper §V-C).
+    def advance(self, t: float) -> bool:
+        """Fold in all events up to ``t``; True if the background changed.
 
         Must be called with non-decreasing ``t``.
         """
         if self._comm is None:
             self._comm = BaseLoad.zeros(self._contrib.topology)
             self._io = BaseLoad.zeros(self._contrib.topology)
+        changed = False
         while self._ptr < len(self._events) and self._events[self._ptr][0] <= t:
             _, delta, jid = self._events[self._ptr]
             comm, io = self._contrib.get(self._jobs_by_id[jid])
             sign = 1.0 if delta > 0 else -1.0
             self._iadd(self._comm, comm, sign)
             self._iadd(self._io, io, sign)
-            if delta > 0:
-                self._active.add(jid)
-            else:
-                self._active.discard(jid)
+            if delta < 0:
                 self._contrib.drop(jid)
             self._ptr += 1
-        w = self._weather.at(t)
-        c = comm_scale
-        out = BaseLoad(
-            c * self._comm.link_loads + w * self._io.link_loads,
-            c * self._comm.inj + w * self._io.inj,
-            c * self._comm.ej + w * self._io.ej,
-            c * self._comm.vc4 + w * self._io.vc4,
+            changed = True
+        return changed
+
+    def snapshot(self) -> tuple[BaseLoad, BaseLoad]:
+        """Copies of the (comm, io) accumulators for the current window."""
+        return (
+            BaseLoad(
+                self._comm.link_loads.copy(),
+                self._comm.inj.copy(),
+                self._comm.ej.copy(),
+                self._comm.vc4.copy(),
+            ),
+            BaseLoad(
+                self._io.link_loads.copy(),
+                self._io.inj.copy(),
+                self._io.ej.copy(),
+                self._io.vc4.copy(),
+            ),
         )
-        if exclude_job_id in self._active:
-            comm, io = self._contrib.get(self._jobs_by_id[exclude_job_id])
-            out.link_loads = np.maximum(
-                out.link_loads - c * comm.link_loads - w * io.link_loads, 0.0
-            )
-            out.inj = np.maximum(out.inj - c * comm.inj - w * io.inj, 0.0)
-            out.ej = np.maximum(out.ej - c * comm.ej - w * io.ej, 0.0)
-            out.vc4 = np.maximum(out.vc4 - c * comm.vc4 - w * io.vc4, 0.0)
-        return out
 
 
-class _LazyContributions:
-    """Cache of per-job BaseLoads, built on first use, dropped at job end.
+class _ContributionStore:
+    """Per-job BaseLoads feeding the timeline, dropped at job end.
 
-    Probe jobs are not in the user population; their contributions come
-    from registered builders (the probe's own flow geometry at mean
-    intensity), so overlapping probes see each other — the paper observed
-    exactly this self-interference (§V-A: User-8 appears in its own
-    aggressor lists).
+    Probe contributions are registered up front (computed, possibly in
+    parallel, from each probe's own flow geometry at mean intensity), so
+    overlapping probes see each other — the paper observed exactly this
+    self-interference (§V-A: User-8 appears in its own aggressor lists).
+    Background-job contributions arrive through ``loader``, which may
+    batch lookahead work across worker processes; it must insert the
+    requested job before returning.
     """
 
-    def __init__(self, model: BackgroundTrafficModel) -> None:
-        self.model = model
-        self.topology = model.topology
+    def __init__(self, topology: DragonflyTopology, loader) -> None:
+        self.topology = topology
+        self._loader = loader
         self._cache: dict[int, tuple[BaseLoad, BaseLoad]] = {}
-        self._builders: dict[int, object] = {}
+        # Probes generate negligible filesystem traffic (§III-A); one
+        # shared zero BaseLoad serves them all (it is only ever read).
+        self._zero_io = BaseLoad.zeros(topology)
 
-    def register_probe_builder(self, job_id: int, builder) -> None:
-        self._builders[job_id] = builder
+    def register_probe(self, job_id: int, comm: BaseLoad) -> None:
+        self._cache[job_id] = (comm, self._zero_io)
+
+    def insert(self, job_id: int, comm: BaseLoad, io: BaseLoad) -> None:
+        self._cache[job_id] = (comm, io)
+
+    def has(self, job_id: int) -> bool:
+        return job_id in self._cache
 
     def get(self, job: JobRecord) -> tuple[BaseLoad, BaseLoad]:
         c = self._cache.get(job.job_id)
         if c is None:
-            builder = self._builders.get(job.job_id)
-            if builder is not None:
-                # Probes generate negligible filesystem traffic (§III-A).
-                c = (builder(), BaseLoad.zeros(self.topology))
-            else:
-                c = self.model.contribution(job)
-            self._cache[job.job_id] = c
+            self._loader(job)
+            c = self._cache[job.job_id]
         return c
 
     def drop(self, job_id: int) -> None:
         self._cache.pop(job_id, None)
-        self._builders.pop(job_id, None)
 
 
 # --------------------------------------------------------------------------- #
@@ -720,6 +755,9 @@ class CampaignRunner:
         cfg = self.config
         topo = self.topology
         horizon = cfg.days * DAY
+        workers = resolve_workers(cfg.workers)
+
+        from repro.campaign import parallel as par
 
         # 1. Jobs: background + probes, scheduled together.
         bg_gen = BackgroundWorkloadGenerator.for_target_utilisation(
@@ -736,24 +774,12 @@ class CampaignRunner:
         )
         result = scheduler.schedule(bg_requests + probe_requests)
         sacct = SacctLog(result, topo)
-
         probes = result.probes()
-        # 2. Build probe contexts lazily over a global chronological sweep.
-        bg_model = BackgroundTrafficModel(
-            topo, self.engine, self.population, cfg.background_intensity, cfg.seed
-        )
-        contribs = _LazyContributions(bg_model)
-        weather = IOWeather(
-            horizon * 1.3, rng_for("io-weather", seed=cfg.seed)
-        )
-        timeline = TrafficTimeline(contribs, result.jobs, weather)
 
-        # Probe sample plan: nominal step midpoints.
+        # 2. Probe sample plan: nominal step midpoints, in global time order.
         samples: list[tuple[float, int, int]] = []  # (t, probe idx, step)
         step_models: list[StepModel] = []
-        apps: list[Application] = []
         plan_list: list[_ProbePlan] = []
-        bursts: list[np.ndarray] = []
         for pi, job in enumerate(probes):
             plan = plans[(job.request.traffic_tag, job.request.submit_time)]
             app = get_application(plan.key)
@@ -763,132 +789,38 @@ class CampaignRunner:
                 else app.step_model()
             )
             step_models.append(sm)
-            apps.append(app)
             plan_list.append(plan)
             durations = sm.compute + sm.mpi
             mids = job.start_time + np.cumsum(durations) - durations / 2
-            bursts.append(
-                _burst_series(mids, rng_for("burst", job.job_id, seed=cfg.seed))
-            )
             for s in range(sm.num_steps):
                 samples.append((float(mids[s]), pi, s))
         samples.sort()
 
-        # Per-probe result buffers.
-        n_probes = len(probes)
-        contexts: dict[int, ProbeRunContext] = {}
-
-        def get_context(pi: int) -> ProbeRunContext:
-            ctx = contexts.get(pi)
-            if ctx is None:
-                ctx = ProbeRunContext(
-                    apps[pi], topo, self.engine, probes[pi], step_models[pi]
-                )
-                contexts[pi] = ctx
-            return ctx
-
-        for pi, job in enumerate(probes):
-            contribs.register_probe_builder(
-                job.job_id,
-                (lambda p: (lambda: get_context(p).mean_contribution()))(pi),
+        # 3. Fan the parallel phases out over the worker pool; the
+        #    chronological sweep stays in this process.
+        env = par.WorkerEnv(
+            cfg,
+            topology=topo,
+            engine=self.engine,
+            sampler=self.sampler,
+            population=self.population,
+        )
+        with par.CampaignPool(cfg, workers, env=env) as pool:
+            results = self._solve_probes(
+                pool,
+                env,
+                result.jobs,
+                probes,
+                plan_list,
+                step_models,
+                samples,
+                horizon,
+                progress,
             )
 
-        remaining = [sm.num_steps for sm in step_models]
-        collectors: list[AriesNCL | None] = [None] * n_probes
-        buffers = [
-            {
-                "step": np.zeros(sm.num_steps),
-                "compute": np.zeros(sm.num_steps),
-                "mpi": np.zeros(sm.num_steps),
-                "ldms": np.zeros((sm.num_steps, 8)),
-            }
-            for sm in step_models
-        ]
+        # 4. Assemble datasets.
+        from repro.topology.placement import placement_features
 
-        from repro.campaign.datasets import LDMS_FEATURES
-
-        done = 0
-        for t, pi, step in samples:
-            job = probes[pi]
-            app = apps[pi]
-            sm = step_models[pi]
-            ctx = get_context(pi)
-            if collectors[pi] is None:
-                collectors[pi] = AriesNCL(
-                    topo,
-                    ctx.routers,
-                    rng=rng_for("ncl", job.job_id, seed=cfg.seed),
-                    noise=COUNTER_NOISE,
-                )
-            rng = rng_for("steps", job.job_id, step, seed=cfg.seed)
-
-            # Short-timescale comm breathing scales the steady background;
-            # filesystem traffic follows its own weather inside base_at.
-            b = float(bursts[pi][step])
-            base = timeline.base_at(t, exclude_job_id=job.job_id, comm_scale=b)
-            vol_noise = float(rng.lognormal(0.0, app.intensity_sigma))
-            intensity = sm.intensity[step] * vol_noise
-            state, fabric_s, endpoint_s = ctx.solve_step(base, intensity)
-
-            blended = app.blended_slowdown(fabric_s, endpoint_s)
-            t_mpi = (
-                sm.mpi[step]
-                * vol_noise
-                * blended
-                * float(rng.lognormal(0.0, app.residual_sigma))
-            )
-            t_comp = sm.compute[step] * float(rng.lognormal(0.0, app.compute_sigma))
-            t_step = t_comp + t_mpi
-
-            rates = synthesize_router_counters(state)
-            # Background-only rates, to split flit-family integration (see
-            # _FLIT_FAMILY above).
-            bg_state = NetworkState(
-                topology=topo,
-                link_loads=base.link_loads,
-                inj=base.inj,
-                ej=base.ej,
-                vc4=base.vc4,
-            )
-            bg_rates = synthesize_router_counters(bg_state)
-            # This step's nominal duration: its own flit volume is (rate x
-            # nominal time), regardless of how long congestion stretched it.
-            t_nominal = float(sm.compute[step] + sm.mpi[step])
-            job_rates = {}
-            for name, total_rate in rates.items():
-                if name in _PT_FLIT_FAMILY:
-                    own = np.maximum(total_rate - bg_rates[name], 0.0)
-                    job_rates[name] = own * (t_nominal / t_step)
-                elif name in _RT_FLIT_FAMILY:
-                    own = np.maximum(total_rate - bg_rates[name], 0.0)
-                    job_rates[name] = (
-                        own * (t_nominal / t_step) + bg_rates[name]
-                    )
-                else:
-                    job_rates[name] = total_rate
-            collectors[pi].record_step(step, state, t_step, router_rates=job_rates)
-            ldms_vals = self.sampler.sample(
-                state,
-                ctx.routers,
-                duration=t_step,
-                rng=rng_for("ldms", job.job_id, step, seed=cfg.seed),
-                noise=COUNTER_NOISE,
-                router_rates=rates,
-            )
-            buf = buffers[pi]
-            buf["step"][step] = t_step
-            buf["compute"][step] = t_comp
-            buf["mpi"][step] = t_mpi
-            buf["ldms"][step] = [ldms_vals[n] for n in LDMS_FEATURES]
-
-            remaining[pi] -= 1
-            if remaining[pi] == 0:
-                contexts.pop(pi)  # free the routing geometry
-            done += 1
-            if progress and done % 2000 == 0:  # pragma: no cover
-                print(f"  campaign: {done}/{len(samples)} steps solved")
-
-        # 3. Assemble datasets.
         datasets: dict[str, RunDataset] = {
             key: RunDataset(key=key) for key in cfg.dataset_keys
         }
@@ -897,16 +829,7 @@ class CampaignRunner:
 
         for pi, job in enumerate(probes):
             plan = plan_list[pi]
-            app = apps[pi]
-            buf = buffers[pi]
-            prof = profile_run(
-                app,
-                buf["compute"],
-                buf["mpi"],
-                rng=rng_for("mpip", job.job_id, seed=cfg.seed),
-            )
-            from repro.topology.placement import placement_features
-
+            res = results[pi]
             feats = placement_features(topo, job.nodes)
             key = (
                 f"{plan.key}-long{plan.long_steps}" if plan.long_steps else plan.key
@@ -916,17 +839,17 @@ class CampaignRunner:
                 RunRecord(
                     run_index=len(ds.runs),
                     start_time=job.start_time,
-                    step_times=buf["step"],
-                    compute_times=buf["compute"],
-                    mpi_times=buf["mpi"],
-                    counters=collectors[pi].matrix(),
-                    ldms=buf["ldms"],
+                    step_times=res.step_times,
+                    compute_times=res.compute_times,
+                    mpi_times=res.mpi_times,
+                    counters=res.counters,
+                    ldms=res.ldms,
                     num_routers=feats["NUM_ROUTERS"],
                     num_groups=feats["NUM_GROUPS"],
                     neighborhood=sacct.neighborhood_users(
                         job, min_nodes=cfg.min_neighbor_nodes
                     ),
-                    routine_times=prof.routine_times,
+                    routine_times=res.routine_times,
                 )
             )
 
@@ -934,6 +857,193 @@ class CampaignRunner:
             datasets=datasets,
             ground_truth_aggressors=self.population.aggressors,
         )
+
+    # ------------------------------------------------------------------ #
+
+    def _solve_probes(
+        self,
+        pool,
+        env,
+        all_jobs: list[JobRecord],
+        probes: list[JobRecord],
+        plan_list: list[_ProbePlan],
+        step_models: list[StepModel],
+        samples: list[tuple[float, int, int]],
+        horizon: float,
+        progress: bool,
+    ) -> dict[int, "object"]:
+        """Solve every probe run; returns ``{probe idx: RunResult}``.
+
+        Three phases, all bit-deterministic for any worker count:
+
+        1. every probe's mean traffic contribution (routing geometry) is
+           computed on the pool and registered with the timeline;
+        2. the chronological sweep walks the samples, folding background
+           contributions in (fetched from the pool in batched lookahead)
+           and snapshotting the accumulators once per *window* (the span
+           between two scheduler events);
+        3. as runs complete their sweep, they are submitted to the pool
+           in chunks that carry only the window snapshots their steps
+           reference; windows are refcounted and freed once every
+           referencing run has been dispatched.
+        """
+        from repro.campaign import parallel as par
+
+        cfg = self.config
+        workers = pool.workers
+        n_probes = len(probes)
+
+        # -- phase 1: probe mean contributions --------------------------- #
+        specs = [
+            par.ProbeSpec(
+                pi=pi,
+                job_id=probes[pi].job_id,
+                key=plan_list[pi].key,
+                long_steps=plan_list[pi].long_steps,
+                nodes=probes[pi].nodes,
+            )
+            for pi in range(n_probes)
+        ]
+        futures = [
+            pool.submit_probe_contributions(chunk)
+            for chunk in par.chunked(specs, workers * 2)
+        ]
+        probe_comm: dict[int, BaseLoad] = {}
+        for fut in futures:
+            for pi, comm in pool.result(fut):
+                probe_comm[pi] = comm
+        if progress:  # pragma: no cover
+            print(f"  campaign: routed {n_probes} probe placements")
+
+        # -- background contributions: batched lookahead loader ---------- #
+        probe_ids = {j.job_id for j in probes}
+        from collections import deque
+
+        pending = deque(
+            sorted(
+                (j for j in all_jobs if j.job_id not in probe_ids),
+                key=lambda j: (j.start_time, j.job_id),
+            )
+        )
+        bg_batch = max(32, workers * 16)
+
+        def _load_bg_batch(job: JobRecord) -> None:
+            # The timeline requests background jobs in start-event order,
+            # which is exactly `pending` order — pull through the
+            # requested job, then extend with lookahead so one pool trip
+            # covers many upcoming start events.
+            batch: list[JobRecord] = []
+            while pending:
+                nxt = pending.popleft()
+                batch.append(nxt)
+                if nxt.job_id == job.job_id:
+                    break
+            while pending and len(batch) < bg_batch:
+                batch.append(pending.popleft())
+            bg_specs = [
+                par.BgJobSpec(job_id=j.job_id, user=j.user, nodes=j.nodes)
+                for j in batch
+            ]
+            futs = [
+                pool.submit_bg_contributions(chunk)
+                for chunk in par.chunked(bg_specs, workers)
+            ]
+            for f in futs:
+                for job_id, comm, io in pool.result(f):
+                    store.insert(job_id, comm, io)
+            if not store.has(job.job_id):  # pragma: no cover - defensive
+                comm, io = env.bg_model.contribution(job)
+                store.insert(job.job_id, comm, io)
+
+        store = _ContributionStore(self.topology, _load_bg_batch)
+        for pi, comm in probe_comm.items():
+            store.register_probe(probes[pi].job_id, comm)
+
+        timeline = TrafficTimeline(store, all_jobs)
+        weather = IOWeather(horizon * 1.3, rng_for("io-weather", seed=cfg.seed))
+
+        # -- phases 2+3: sweep, snapshot windows, dispatch run chunks ----- #
+        window_store: dict[int, tuple[BaseLoad, BaseLoad]] = {}
+        wref: dict[int, int] = {}
+        run_windows: list[set[int]] = [set() for _ in range(n_probes)]
+        win_ids = [np.zeros(sm.num_steps, dtype=np.int64) for sm in step_models]
+        weather_bufs = [np.zeros(sm.num_steps) for sm in step_models]
+        remaining = [sm.num_steps for sm in step_models]
+
+        results: dict[int, par.RunResult] = {}
+        inflight: deque = deque()
+        ready: list[int] = []
+        done_runs = 0
+        chunk_size = max(1, min(8, -(-n_probes // (workers * 4))))
+        max_inflight = workers * 2
+
+        def collect(fut) -> None:
+            nonlocal done_runs
+            chunk_results = pool.result(fut)
+            for res in chunk_results:
+                results[res.pi] = res
+            done_runs += len(chunk_results)
+            if progress:  # pragma: no cover
+                print(
+                    f"  campaign: {done_runs}/{n_probes} runs solved "
+                    f"({workers} worker{'s' if workers != 1 else ''})"
+                )
+
+        def flush() -> None:
+            if not ready:
+                return
+            tasks = [
+                par.RunTask(
+                    pi=pi,
+                    job_id=probes[pi].job_id,
+                    key=plan_list[pi].key,
+                    long_steps=plan_list[pi].long_steps,
+                    start_time=probes[pi].start_time,
+                    nodes=probes[pi].nodes,
+                    window_ids=win_ids[pi],
+                    weather=weather_bufs[pi],
+                )
+                for pi in ready
+            ]
+            payload = {
+                w: window_store[w] for pi in ready for w in run_windows[pi]
+            }
+            inflight.append(pool.submit_solve(tasks, payload))
+            for pi in ready:
+                for w in run_windows[pi]:
+                    wref[w] -= 1
+                    if wref[w] == 0 and w != current_wid:
+                        del window_store[w]
+                        del wref[w]
+                run_windows[pi].clear()
+            ready.clear()
+            while len(inflight) > max_inflight:
+                collect(inflight.popleft())
+
+        current_wid = -1
+        for t, pi, step in samples:
+            if timeline.advance(t) or current_wid < 0:
+                prev = current_wid
+                current_wid += 1
+                window_store[current_wid] = timeline.snapshot()
+                wref[current_wid] = 0
+                if prev >= 0 and wref.get(prev) == 0:
+                    del window_store[prev]
+                    del wref[prev]
+            win_ids[pi][step] = current_wid
+            weather_bufs[pi][step] = weather.at(t)
+            if current_wid not in run_windows[pi]:
+                run_windows[pi].add(current_wid)
+                wref[current_wid] += 1
+            remaining[pi] -= 1
+            if remaining[pi] == 0:
+                ready.append(pi)
+                if len(ready) >= chunk_size:
+                    flush()
+        flush()
+        while inflight:
+            collect(inflight.popleft())
+        return results
 
 
 def run_campaign(

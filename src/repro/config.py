@@ -183,6 +183,33 @@ def rng_for(*stream: object, seed: int = DEFAULT_SEED) -> np.random.Generator:
     return np.random.default_rng(np.random.SeedSequence(entropy))
 
 
+def resolve_workers(requested: int | None = None) -> int:
+    """Resolve the campaign worker-process count.
+
+    Precedence: the ``REPRO_WORKERS`` environment variable (so a CI job or
+    benchmark invocation can override any config without code changes),
+    then ``requested`` (the ``CampaignConfig.workers`` field), then 1
+    (in-process serial execution).  A value ``<= 0`` means "all cores".
+
+    The worker count never changes generated data — parallel output is
+    bit-identical to serial output — so it is deliberately *not* part of
+    any cache fingerprint.
+    """
+    env = os.environ.get("REPRO_WORKERS", "").strip()
+    if env:
+        try:
+            requested = int(env)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_WORKERS must be an integer, got {env!r}"
+            ) from None
+    if requested is None:
+        return 1
+    if requested <= 0:
+        return os.cpu_count() or 1
+    return requested
+
+
 @dataclass
 class ReproConfig:
     """Top-level knobs shared by campaign and experiment drivers."""

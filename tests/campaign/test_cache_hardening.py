@@ -1,0 +1,175 @@
+"""The hardened ``.repro_cache`` layer: atomicity, corruption, locking.
+
+The cache is hammered by concurrent users (parallel generation, pytest
+and a benchmark run racing on one fingerprint), so the failure contract
+is: a reader sees a complete entry or a miss — never a crash, never a
+half-written campaign presented as data.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.campaign.datasets import (
+    CACHE_FORMAT_VERSION,
+    Campaign,
+    FileLock,
+    RunDataset,
+    RunRecord,
+)
+from repro.campaign.runner import CampaignConfig, run_campaign
+
+
+def _toy_campaign(scale: float = 1.0, n_runs: int = 3, n_steps: int = 5) -> Campaign:
+    rng = np.random.default_rng(7)
+    runs = []
+    for i in range(n_runs):
+        comp = scale * rng.uniform(1.0, 2.0, n_steps)
+        mpi = scale * rng.uniform(0.5, 1.0, n_steps)
+        runs.append(
+            RunRecord(
+                run_index=i,
+                start_time=3600.0 * i,
+                step_times=comp + mpi,
+                compute_times=comp,
+                mpi_times=mpi,
+                counters=rng.uniform(size=(n_steps, 13)),
+                ldms=rng.uniform(size=(n_steps, 8)),
+                num_routers=32,
+                num_groups=4,
+                neighborhood=[f"User-{i}", "User-9"],
+                routine_times={"MPI_Allreduce": float(mpi.sum())},
+            )
+        )
+    return Campaign(
+        datasets={"TOY-128": RunDataset(key="TOY-128", runs=runs)},
+        ground_truth_aggressors=["User-9"],
+    )
+
+
+@pytest.fixture()
+def cache_dir(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    return tmp_path
+
+
+def test_roundtrip(cache_dir):
+    camp = _toy_campaign()
+    camp.save("toyfp")
+    loaded = Campaign.load("toyfp")
+    assert loaded is not None
+    assert loaded.keys() == ["TOY-128"]
+    np.testing.assert_array_equal(loaded["TOY-128"].Y, camp["TOY-128"].Y)
+    np.testing.assert_array_equal(loaded["TOY-128"].ldms, camp["TOY-128"].ldms)
+    assert [r.neighborhood for r in loaded["TOY-128"].runs] == [
+        r.neighborhood for r in camp["TOY-128"].runs
+    ]
+    assert loaded.ground_truth_aggressors == ["User-9"]
+
+
+def test_no_temp_files_left_behind(cache_dir):
+    _toy_campaign().save("toyfp")
+    leftovers = [p for p in cache_dir.rglob("*") if ".tmp" in p.name]
+    assert leftovers == []
+
+
+def test_truncated_npz_is_a_warned_miss(cache_dir):
+    _toy_campaign().save("toyfp")
+    npz = cache_dir / "toyfp" / "TOY-128.npz"
+    npz.write_bytes(npz.read_bytes()[: npz.stat().st_size // 2])
+    with pytest.warns(RuntimeWarning, match="corrupt campaign cache entry"):
+        assert Campaign.load("toyfp") is None
+
+
+def test_garbled_meta_json_is_a_warned_miss(cache_dir):
+    _toy_campaign().save("toyfp")
+    (cache_dir / "toyfp" / "TOY-128.json").write_text("{not json")
+    with pytest.warns(RuntimeWarning, match="corrupt campaign cache entry"):
+        assert Campaign.load("toyfp") is None
+
+
+def test_garbled_manifest_is_a_warned_miss(cache_dir):
+    _toy_campaign().save("toyfp")
+    (cache_dir / "toyfp" / "campaign.json").write_text("\x00garbage")
+    with pytest.warns(RuntimeWarning):
+        assert Campaign.load("toyfp") is None
+
+
+def test_format_version_mismatch_is_a_silent_miss(cache_dir):
+    _toy_campaign().save("toyfp")
+    manifest = cache_dir / "toyfp" / "campaign.json"
+    meta = json.loads(manifest.read_text())
+    assert meta["format"] == CACHE_FORMAT_VERSION
+    meta["format"] = 0
+    manifest.write_text(json.dumps(meta))
+    # An old-format entry is expected after an upgrade: miss, no warning.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert Campaign.load("toyfp") is None
+
+
+def test_format_version_folded_into_fingerprint(monkeypatch):
+    cfg = CampaignConfig.tiny()
+    before = cfg.fingerprint()
+    monkeypatch.setattr("repro.campaign.runner.CACHE_FORMAT_VERSION", 999)
+    assert cfg.fingerprint() != before
+
+
+def test_file_lock_excludes(tmp_path):
+    path = tmp_path / "x.lock"
+    first = FileLock(path)
+    assert first.acquire()
+    second = FileLock(path)
+    assert second.acquire(blocking=False) is False
+    first.release()
+    assert second.acquire(blocking=False) is True
+    second.release()
+
+
+def _racing_saver(cache_dir: str, scale: float) -> None:
+    import os
+
+    os.environ["REPRO_CACHE_DIR"] = cache_dir
+    _toy_campaign(scale=scale).save("racefp")
+
+
+def test_concurrent_savers_leave_a_valid_entry(cache_dir):
+    """Two processes saving the same fingerprint serialise on the lock:
+    whatever wins, the entry loads cleanly and matches one of them."""
+    ctx = multiprocessing.get_context("fork")
+    procs = [
+        ctx.Process(target=_racing_saver, args=(str(cache_dir), scale))
+        for scale in (1.0, 2.0)
+    ]
+    for p in procs:
+        p.start()
+    for p in procs:
+        p.join(timeout=60)
+        assert p.exitcode == 0
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # a corrupt entry would warn
+        loaded = Campaign.load("racefp")
+    assert loaded is not None
+    candidates = [_toy_campaign(scale=s)["TOY-128"].Y for s in (1.0, 2.0)]
+    assert any(np.array_equal(loaded["TOY-128"].Y, c) for c in candidates)
+
+
+def test_corrupt_entry_regenerates_via_run_campaign(cache_dir):
+    cfg = CampaignConfig.tiny(days=2.0, long_runs=(), use_cache=True)
+    first = run_campaign(cfg)
+    root = cache_dir / cfg.fingerprint()
+    assert (root / "campaign.json").exists()
+    npz = root / "MILC-128.npz"
+    npz.write_bytes(npz.read_bytes()[:64])
+    with pytest.warns(RuntimeWarning, match="corrupt campaign cache entry"):
+        second = run_campaign(cfg)
+    np.testing.assert_array_equal(first["MILC-128"].Y, second["MILC-128"].Y)
+    # The regeneration also repaired the cache entry.
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        assert Campaign.load(cfg.fingerprint()) is not None

@@ -1,0 +1,98 @@
+"""Golden aggregate statistics of the seeded test-scale campaign.
+
+These values pin the *science* of the generation pipeline: a performance
+refactor (parallelisation, caching, vectorisation) must reproduce them
+bit-for-bit modulo the 1e-6 relative tolerance, which only absorbs
+cross-platform BLAS reduction-order differences.
+
+If a change is *intentional* (physics fix, new noise term, schedule
+change), bump ``_PIPELINE_VERSION`` in ``repro/campaign/runner.py`` and
+regenerate this table:
+
+    PYTHONPATH=src python - <<'EOF'
+    from repro.campaign.runner import CampaignConfig, run_campaign
+    camp = run_campaign(CampaignConfig.tiny(use_cache=False))
+    for k in sorted(camp.keys()):
+        ds = camp[k]
+        _, yh = ds.mean_centered()
+        print(f'    "{k}": dict(n={len(ds)}, mean_step={ds.Y.mean()!r}, '
+              f'dev_spread={yh.std()!r}, total_mean={ds.totals.mean()!r}, '
+              f'rel_max={ds.relative_performance().max()!r}),')
+    EOF
+"""
+
+from __future__ import annotations
+
+import pytest
+
+#: Aggregates of ``CampaignConfig.tiny()`` at the default seed.
+GOLDEN = {
+    "AMG-128": dict(
+        n=6,
+        mean_step=14.648967048211261,
+        dev_spread=2.6445649433872678,
+        total_mean=292.97934096422523,
+        rel_max=1.386341412907054,
+    ),
+    "AMG-512": dict(
+        n=6,
+        mean_step=42.51747537827302,
+        dev_spread=5.777582821411728,
+        total_mean=850.3495075654605,
+        rel_max=1.3716132133739554,
+    ),
+    "MILC-128": dict(
+        n=6,
+        mean_step=6.5675451647904515,
+        dev_spread=0.9369764390831963,
+        total_mean=525.4036131832362,
+        rel_max=1.3072706784404153,
+    ),
+    "MILC-128-long160": dict(
+        n=1,
+        mean_step=6.764249360045939,
+        dev_spread=0.0,
+        total_mean=1082.2798976073502,
+        rel_max=1.0,
+    ),
+    "MILC-512": dict(
+        n=6,
+        mean_step=7.841913998848531,
+        dev_spread=0.7111363808590649,
+        total_mean=627.3531199078824,
+        rel_max=1.1299743433900313,
+    ),
+    "UMT-128": dict(
+        n=6,
+        mean_step=67.81304636765859,
+        dev_spread=7.434096939632183,
+        total_mean=474.6913245736101,
+        rel_max=1.2724421325525623,
+    ),
+    "miniVite-128": dict(
+        n=6,
+        mean_step=195.79672047173457,
+        dev_spread=58.34921548287129,
+        total_mean=1174.7803228304076,
+        rel_max=1.5768506124213753,
+    ),
+}
+
+
+@pytest.mark.parametrize("key", sorted(GOLDEN))
+def test_golden_aggregates(tiny_campaign, key):
+    golden = GOLDEN[key]
+    ds = tiny_campaign[key]
+    _, yh = ds.mean_centered()
+    assert len(ds) == golden["n"]
+    assert float(ds.Y.mean()) == pytest.approx(golden["mean_step"], rel=1e-6)
+    assert float(yh.std()) == pytest.approx(golden["dev_spread"], rel=1e-6, abs=1e-12)
+    assert float(ds.totals.mean()) == pytest.approx(golden["total_mean"], rel=1e-6)
+    assert float(ds.relative_performance().max()) == pytest.approx(
+        golden["rel_max"], rel=1e-6
+    )
+
+
+def test_golden_covers_every_dataset(tiny_campaign):
+    """New dataset keys must be pinned here too, not slip by unpinned."""
+    assert set(tiny_campaign.keys()) == set(GOLDEN)
