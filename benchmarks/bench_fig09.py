@@ -26,7 +26,6 @@ def test_fig09_deviation_relevance(once, campaign, fast):
         # Paper: < 5%.  miniVite's intrinsic workload variation puts it
         # slightly above on this substrate (see EXPERIMENTS.md).
         assert err < 6.5, f"{key}: MAPE {err:.2f}%"
-    top = res.data["top"]
 
     def score(key, counter):
         return scores[keys.index(key)][APP_COUNTERS.index(counter)]

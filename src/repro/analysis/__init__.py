@@ -6,6 +6,10 @@
   deviation from mean behaviour (§IV-B, Fig. 9);
 * :mod:`~repro.analysis.forecasting` — attention-based forecasting of the
   next k steps from the last m (§IV-C, Figs. 8/10/11/12).
+
+All matrices, mean-centered views, and window tensors are obtained
+through :mod:`repro.features` (one :class:`~repro.features.FeatureStore`
+per dataset), so analyses that share a campaign never rebuild them.
 """
 
 from repro.analysis.baselines import BaselineComparison, compare_forecasters

@@ -2,14 +2,18 @@
 
 The paper adopts attention (§IV-C) without comparing against simpler
 regressors.  This module adds the natural baselines an open-source user
-would ask for:
+would ask for — all satisfying the :class:`~repro.ml.pipeline.Estimator`
+protocol, so they drop into the same grouped-CV loop:
 
-* **GBR over flattened windows** — the same gradient-boosted machinery
-  the deviation models use, with the (m, H) window unrolled to m*H
-  features;
-* **last-value carry-forward** — predict k times the most recent step's
-  duration (no learning at all; the floor any model must beat);
-* **window-mean carry-forward** — k times the mean of the last m steps.
+* **GBR / ridge over flattened windows** — flat regressors behind a
+  :class:`~repro.ml.pipeline.WindowFlattener` (built by
+  :func:`~repro.ml.pipeline.make_forecaster`);
+* **carry-forward** — predict from a duration statistic of the window
+  (no learning; the floor any model must beat);
+* **mean-target** — predict the training-mean target.
+
+Window tensors come from the dataset's
+:class:`~repro.features.FeatureStore`, shared with the Fig. 8/10 grids.
 """
 
 from __future__ import annotations
@@ -19,39 +23,30 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.campaign.datasets import RunDataset
-from repro.analysis.forecasting import TIERS, build_windows
-from repro.ml.gbr import GradientBoostedRegressor
+from repro.features import TIERS, FeatureSpec, get_store  # noqa: F401 (TIERS re-export)
 from repro.ml.metrics import mape
 from repro.ml.model_selection import GroupKFold
+from repro.ml.pipeline import make_forecaster
 
 
-class GBRForecaster:
-    """Gradient-boosted regression over flattened (m, H) windows."""
+def GBRForecaster(
+    n_estimators: int = 120,
+    max_depth: int = 3,
+    learning_rate: float = 0.08,
+    seed: int = 0,
+):
+    """Gradient-boosted regression over flattened (m, H) windows.
 
-    def __init__(
-        self,
-        n_estimators: int = 120,
-        max_depth: int = 3,
-        learning_rate: float = 0.08,
-        seed: int = 0,
-    ) -> None:
-        self._gbr = GradientBoostedRegressor(
-            n_estimators=n_estimators,
-            max_depth=max_depth,
-            learning_rate=learning_rate,
-            random_state=seed,
-        )
-
-    def fit(self, x: np.ndarray, y: np.ndarray) -> "GBRForecaster":
-        x = np.asarray(x, dtype=np.float64)
-        if x.ndim != 3:
-            raise ValueError("x must be (n, m, H) windows")
-        self._gbr.fit(x.reshape(len(x), -1), np.asarray(y, dtype=np.float64))
-        return self
-
-    def predict(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
-        return self._gbr.predict(x.reshape(len(x), -1))
+    A :class:`~repro.ml.pipeline.Pipeline` factory kept under the old
+    class name.
+    """
+    return make_forecaster(
+        "gbr",
+        seed=seed,
+        n_estimators=n_estimators,
+        max_depth=max_depth,
+        learning_rate=learning_rate,
+    )
 
 
 class CarryForwardForecaster:
@@ -110,7 +105,7 @@ def compare_forecasters(
     ds: RunDataset,
     m: int,
     k: int,
-    tier: str = "app",
+    tier: "str | FeatureSpec" = "app",
     n_splits: int = 3,
     seed: int = 0,
     attention_factory=None,
@@ -120,15 +115,13 @@ def compare_forecasters(
 
     if attention_factory is None:
         attention_factory = default_forecaster
-    feats = ds.features(**TIERS[tier])
-    x, y, groups = build_windows(feats, ds.Y, m, k)
-
-    from repro.ml.linear import RidgeForecaster
+    spec = FeatureSpec.resolve(tier)
+    x, y, groups = get_store(ds).windows(spec, m, k)
 
     models = {
         "attention": lambda s: attention_factory(s),
-        "gbr": lambda s: GBRForecaster(seed=s),
-        "ridge": lambda s: RidgeForecaster(),
+        "gbr": lambda s: make_forecaster("gbr", seed=s),
+        "ridge": lambda s: make_forecaster("ridge"),
         "mean-target": lambda s: CarryForwardForecaster(channel=None),
     }
     per_model: dict[str, list[float]] = {name: [] for name in models}
@@ -142,6 +135,6 @@ def compare_forecasters(
         key=ds.key,
         m=m,
         k=k,
-        tier=tier,
+        tier=spec.name,
         mapes={name: float(np.mean(v)) for name, v in per_model.items()},
     )

@@ -5,6 +5,10 @@ execution times are mean-centered per step index (removing the Fig. 3 /
 Fig. 7 mean trends), and a GBR model predicts the *deviation*; RFE with
 10-fold CV scores each counter's relevance (Fig. 9).  The paper reports
 the prediction MAPE (< 5% on all datasets) on the reconstructed times.
+
+The flattened mean-centered views come from the dataset's
+:class:`~repro.features.FeatureStore`, so repeated analyses (Fig. 9, the
+cheap MAPE check, benchmarks) share one construction.
 """
 
 from __future__ import annotations
@@ -14,6 +18,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.campaign.datasets import RunDataset
+from repro.features import get_store
 from repro.ml.gbr import GradientBoostedRegressor
 from repro.ml.rfe import RelevanceResult, relevance_scores
 from repro.network.counters import APP_COUNTERS
@@ -35,17 +40,6 @@ class DeviationAnalysis:
 
     def top_counters(self, k: int = 3) -> list[str]:
         return self.relevance.top_features(k)
-
-
-def _flatten_mean_centered(
-    ds: RunDataset,
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """(NT, H) counters, (NT,) deviations, (NT,) per-sample mean trend."""
-    xh, yh = ds.mean_centered()
-    n, t, h = xh.shape
-    _, ym = ds.mean_trends()
-    offsets = np.tile(ym, n)
-    return xh.reshape(n * t, h), yh.reshape(n * t), offsets
 
 
 def default_deviation_estimator() -> GradientBoostedRegressor:
@@ -70,7 +64,7 @@ def deviation_analysis(
         raise ValueError(
             f"dataset {ds.key} has {len(ds)} runs; need >= {n_splits} for CV"
         )
-    x, y, offsets = _flatten_mean_centered(ds)
+    x, y, offsets = get_store(ds).flat_mean_centered()
     relevance = relevance_scores(
         x,
         y,
@@ -91,7 +85,7 @@ def deviation_prediction_mape(
     from repro.ml.metrics import mape
     from repro.ml.model_selection import KFold
 
-    x, y, offsets = _flatten_mean_centered(ds)
+    x, y, offsets = get_store(ds).flat_mean_centered()
     if len(x) > max_samples:
         pick = np.random.default_rng(seed).choice(len(x), max_samples, replace=False)
         x, y, offsets = x[pick], y[pick], offsets[pick]

@@ -5,12 +5,13 @@ the last ``m`` steps, predict the *sum* of the execution times of the next
 ``k`` steps.  Models are scored with MAPE under grouped cross-validation
 (whole runs held out, since steps within a run are correlated).
 
-Feature tiers reproduce the §V-C ablation:
-
-* ``app`` — the 13 AriesNCL counters of the job's own routers;
-* ``+ placement`` — NUM_ROUTERS, NUM_GROUPS;
-* ``+ io`` — LDMS counters of I/O routers;
-* ``+ sys`` — LDMS counters of all other routers.
+Feature tiers reproduce the §V-C ablation (see
+:data:`repro.features.TIERS`); every function here accepts either a tier
+name or a :class:`~repro.features.FeatureSpec`, and obtains matrices,
+names, and window tensors from the dataset's
+:class:`~repro.features.FeatureStore` — one spec object guarantees the
+features and their labels can never drift, and warm invocations reuse
+the memoized tensors instead of rebuilding them per figure.
 """
 
 from __future__ import annotations
@@ -20,60 +21,22 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.campaign.datasets import RunDataset, RunRecord
+from repro.features import TIERS, FeatureSpec, build_windows, get_store
 from repro.ml.attention import AttentionForecaster, permutation_importance
 from repro.ml.metrics import mape
 from repro.ml.model_selection import GroupKFold
 
-
-def build_windows(
-    features: np.ndarray, y: np.ndarray, m: int, k: int, align_m: int | None = None
-) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Sliding windows over every run (paper Fig. 6).
-
-    Parameters
-    ----------
-    features:
-        (N, T, H) per-step features.
-    y:
-        (N, T) per-step times.
-    m:
-        Temporal context length (history steps, inclusive of the current
-        step t_c).
-    k:
-        Forecast horizon; the target is ``sum(y[tc+1 : tc+1+k])``.
-    align_m:
-        When comparing several context lengths, pass the *largest* m here
-        so every model sees the same prediction instants (otherwise a
-        smaller m gets extra early-run training windows and the comparison
-        confounds context length with sample count).
-
-    Returns
-    -------
-    (x, targets, groups):
-        (n, m, H) windows, (n,) aggregate targets, (n,) run indices.
-    """
-    features = np.asarray(features, dtype=np.float64)
-    y = np.asarray(y, dtype=np.float64)
-    n, t, h = features.shape
-    if m < 1 or k < 1:
-        raise ValueError("m and k must be positive")
-    if align_m is not None and align_m < m:
-        raise ValueError("align_m must be >= m")
-    if (align_m or m) + k > t:
-        raise ValueError(f"window m={align_m or m} + horizon k={k} exceeds T={t}")
-    tcs = np.arange((align_m or m) - 1, t - k)
-    xs = []
-    ys = []
-    gs = []
-    for tc in tcs:
-        xs.append(features[:, tc - m + 1 : tc + 1, :])
-        ys.append(y[:, tc + 1 : tc + 1 + k].sum(axis=1))
-        gs.append(np.arange(n))
-    return (
-        np.concatenate(xs, axis=0),
-        np.concatenate(ys, axis=0),
-        np.concatenate(gs, axis=0),
-    )
+__all__ = [
+    "TIERS",
+    "build_windows",
+    "ForecastResult",
+    "LongRunForecast",
+    "default_forecaster",
+    "forecast_mape",
+    "ablation_grid",
+    "forecasting_feature_importances",
+    "long_run_forecast",
+]
 
 
 def default_forecaster(seed: int = 0) -> AttentionForecaster:
@@ -94,30 +57,19 @@ class ForecastResult:
     per_fold: list[float] = field(default_factory=list)
 
 
-#: Ablation tier name -> features() kwargs.
-TIERS: dict[str, dict[str, bool]] = {
-    "app": {},
-    "app+placement": {"placement": True},
-    "app+placement+io": {"placement": True, "io": True},
-    "app+placement+io+sys": {"placement": True, "io": True, "sys": True},
-}
-
-
 def forecast_mape(
     ds: RunDataset,
     m: int,
     k: int,
-    tier: str = "app",
+    tier: "str | FeatureSpec" = "app",
     n_splits: int = 3,
     seed: int = 0,
     model_factory=default_forecaster,
     align_m: int | None = None,
 ) -> ForecastResult:
     """Grouped-CV MAPE of the forecaster on one (m, k, tier) cell."""
-    if tier not in TIERS:
-        raise ValueError(f"unknown tier {tier!r}; expected one of {list(TIERS)}")
-    feats = ds.features(**TIERS[tier])
-    x, y, groups = build_windows(feats, ds.Y, m, k, align_m=align_m)
+    spec = FeatureSpec.resolve(tier)
+    x, y, groups = get_store(ds).windows(spec, m, k, align_m=align_m)
     gkf = GroupKFold(n_splits=n_splits, seed=seed)
     per_fold = []
     for fold, (train, test) in enumerate(gkf.split(groups)):
@@ -128,7 +80,7 @@ def forecast_mape(
         key=ds.key,
         m=m,
         k=k,
-        tier=tier,
+        tier=spec.name,
         mape=float(np.mean(per_fold)),
         per_fold=per_fold,
     )
@@ -138,7 +90,7 @@ def ablation_grid(
     ds: RunDataset,
     ms: list[int],
     ks: list[int],
-    tiers: list[str],
+    tiers: "list[str | FeatureSpec]",
     n_splits: int = 3,
     seed: int = 0,
     model_factory=default_forecaster,
@@ -150,15 +102,16 @@ def ablation_grid(
     """
     out = []
     align = max(ms)
+    specs = [FeatureSpec.resolve(t) for t in tiers]
     for k in ks:
         for m in ms:
-            for tier in tiers:
+            for spec in specs:
                 out.append(
                     forecast_mape(
                         ds,
                         m,
                         k,
-                        tier,
+                        spec,
                         n_splits=n_splits,
                         seed=seed,
                         model_factory=model_factory,
@@ -172,7 +125,7 @@ def forecasting_feature_importances(
     ds: RunDataset,
     m: int,
     k: int,
-    tier: str,
+    tier: "str | FeatureSpec",
     seed: int = 0,
     model_factory=default_forecaster,
 ) -> tuple[list[str], np.ndarray]:
@@ -181,9 +134,10 @@ def forecasting_feature_importances(
     Trained on all runs; importances are MAPE degradation when one feature
     channel is shuffled (normalised to sum to 1).
     """
-    feats = ds.features(**TIERS[tier])
-    names = ds.feature_names(**TIERS[tier])
-    x, y, _ = build_windows(feats, ds.Y, m, k)
+    spec = FeatureSpec.resolve(tier)
+    store = get_store(ds)
+    names = store.feature_names(spec)
+    x, y, _ = store.windows(spec, m, k)
     model = model_factory(seed)
     model.fit(x, y)
     imp = permutation_importance(
@@ -214,7 +168,7 @@ def long_run_forecast(
     long_run: RunRecord,
     m: int = 30,
     k: int = 40,
-    tier: str = "app+placement+io+sys",
+    tier: "str | FeatureSpec" = "app+placement+io+sys",
     seed: int = 0,
     model_factory=default_forecaster,
 ) -> LongRunForecast:
@@ -225,14 +179,15 @@ def long_run_forecast(
     No data from the long run enters training (paper: "no data from this
     run was included in training the model").
     """
-    feats = train_ds.features(**TIERS[tier])
-    x, y, _ = build_windows(feats, train_ds.Y, m, k)
+    spec = FeatureSpec.resolve(tier)
+    x, y, _ = get_store(train_ds).windows(spec, m, k)
     model = model_factory(seed)
     model.fit(x, y)
 
-    # Long-run features in the same tier layout.
+    # Long-run features in the same tier layout (one-off view; the spec
+    # guarantees the same column order as the training windows).
     holder = RunDataset(key="long", runs=[long_run])
-    lf = holder.features(**TIERS[tier])[0]  # (T, H)
+    lf = spec.matrix(holder)[0]  # (T, H)
     ly = long_run.step_times
     t = len(ly)
     starts = np.arange(m, t - k + 1, k)

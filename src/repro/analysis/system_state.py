@@ -15,8 +15,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.analysis.forecasting import build_windows
 from repro.campaign.datasets import LDMS_FEATURES, RunDataset
+from repro.features import get_store
 from repro.ml.attention import AttentionForecaster
 from repro.ml.metrics import mape, r2_score
 from repro.ml.model_selection import GroupKFold
@@ -63,9 +63,9 @@ def forecast_system_channel(
                 d_model=16, hidden=32, epochs=120, seed=s
             )
     ci = LDMS_FEATURES.index(channel)
-    feats = ds.ldms  # (N, T, 8)
-    target = feats[:, :, ci]
-    x, y, groups = build_windows(feats, target, m, k)
+    # LDMS windows with the channel's future sum as target, via the
+    # dataset's FeatureStore (shared with any other channel's view).
+    x, y, groups = get_store(ds).channel_windows(channel, m, k)
     # Persistence baseline: future sum ~= k x current value.
     persistence = x[:, -1, ci] * k
 

@@ -698,13 +698,18 @@ class CampaignRunner:
 
     def run(self, progress: bool = False) -> Campaign:
         cfg = self.config
-        if cfg.use_cache:
-            cached = Campaign.load(cfg.fingerprint())
-            if cached is not None:
-                return cached
-        campaign = self._generate(progress=progress)
-        if cfg.use_cache:
-            campaign.save(cfg.fingerprint())
+        campaign = Campaign.load(cfg.fingerprint()) if cfg.use_cache else None
+        if campaign is None:
+            campaign = self._generate(progress=progress)
+            if cfg.use_cache:
+                campaign.save(cfg.fingerprint())
+        # Provenance stamp: lets each dataset's FeatureStore key its
+        # derived-data cache off the campaign fingerprint instead of
+        # hashing array contents (generation is deterministic, so the
+        # fingerprint identifies the data whether or not it was cached).
+        fingerprint = cfg.fingerprint()
+        for ds in campaign.datasets.values():
+            ds.campaign_fingerprint = fingerprint
         return campaign
 
     # ------------------------------------------------------------------ #

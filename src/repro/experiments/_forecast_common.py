@@ -1,10 +1,18 @@
-"""Shared grid driver for the Fig. 8 / Fig. 10 forecasting ablations."""
+"""Shared grid driver for the Fig. 8 / Fig. 10 forecasting ablations.
+
+Window tensors are served by each dataset's
+:class:`~repro.features.FeatureStore`, so the grids, the importance
+panels (Fig. 11), and the long-run forecast (Fig. 12) all reuse one
+construction per (tier, m, k) cell — a warm second pass rebuilds
+nothing.
+"""
 
 from __future__ import annotations
 
-from repro.analysis.forecasting import ablation_grid, default_forecaster
+from repro.analysis.forecasting import ablation_grid
 from repro.campaign.datasets import Campaign
 from repro.experiments.report import ascii_table
+from repro.features import FeatureSpec
 from repro.ml.attention import AttentionForecaster
 
 
@@ -32,6 +40,9 @@ def forecast_grid(
     # Two grouped folds keep the full 2x2xTiers grids tractable; the
     # within-cell fold spread is reported in each ForecastResult.
     n_splits = 2
+    # Resolve tier names once; one spec object per tier serves every
+    # dataset's features, names, and windows below.
+    tier_specs = [FeatureSpec.resolve(t) for t in tiers]
     data: dict[str, list] = {}
     blocks = []
     for key in keys:
@@ -43,7 +54,7 @@ def forecast_grid(
         if not ms_ok or not ks_ok:
             continue
         results = ablation_grid(
-            ds, ms_ok, ks_ok, tiers, n_splits=n_splits, model_factory=factory
+            ds, ms_ok, ks_ok, tier_specs, n_splits=n_splits, model_factory=factory
         )
         data[key] = results
         rows = []

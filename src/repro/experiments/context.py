@@ -7,20 +7,45 @@ environment:
   on disk under ``REPRO_CACHE_DIR``);
 * ``REPRO_FAST=1`` or ``fast=True`` — the test-scale campaign, for smoke
   runs of the full pipeline.
+
+The in-process campaign cache is bounded (LRU over
+:func:`campaign_cache_size` entries, default 2) and keyed by
+``CampaignConfig.fingerprint()`` — the same fingerprint that roots each
+dataset's :class:`~repro.features.FeatureStore` entries, so evicting a
+campaign releases its derived-feature memos with it (they live on the
+dataset objects).  :func:`clear_cache` drops both layers explicitly.
 """
 
 from __future__ import annotations
 
 import os
+from collections import OrderedDict
 
 from repro.campaign.datasets import Campaign
 from repro.campaign.runner import CampaignConfig, run_campaign
 
-_CACHE: dict[str, Campaign] = {}
+_CACHE: "OrderedDict[str, Campaign]" = OrderedDict()
 
 
 def fast_requested() -> bool:
     return os.environ.get("REPRO_FAST", "0") not in ("0", "", "false")
+
+
+def campaign_cache_size() -> int:
+    """Max campaigns kept in process (``REPRO_CAMPAIGN_CACHE_SIZE``)."""
+    try:
+        size = int(os.environ.get("REPRO_CAMPAIGN_CACHE_SIZE", "2"))
+    except ValueError:
+        size = 2
+    return max(1, size)
+
+
+def clear_cache() -> None:
+    """Drop cached campaigns and every in-process feature memo."""
+    from repro.features import clear_feature_caches
+
+    _CACHE.clear()
+    clear_feature_caches()
 
 
 def experiment_config(fast: bool = False) -> CampaignConfig:
@@ -35,9 +60,14 @@ def get_campaign(campaign: Campaign | None = None, fast: bool = False) -> Campai
         return campaign
     cfg = experiment_config(fast)
     key = cfg.fingerprint()
-    if key not in _CACHE:
-        _CACHE[key] = run_campaign(cfg)
-    return _CACHE[key]
+    if key in _CACHE:
+        _CACHE.move_to_end(key)
+        return _CACHE[key]
+    camp = run_campaign(cfg)
+    _CACHE[key] = camp
+    while len(_CACHE) > campaign_cache_size():
+        _CACHE.popitem(last=False)
+    return camp
 
 
 def long_run_key(campaign: Campaign) -> str | None:

@@ -135,6 +135,9 @@ def run_contention(campaign=None, fast: bool = False) -> ExperimentResult:
 
 
 def run_sysforecast(campaign=None, fast: bool = False) -> ExperimentResult:
+    # Each channel's LDMS window tensor is served by the dataset's
+    # FeatureStore (one shared (N, T, 8) view, one window stack per
+    # channel), so the three channels below rebuild nothing in common.
     from repro.analysis.system_state import forecast_system_channel
     from repro.ml.attention import AttentionForecaster
 

@@ -6,6 +6,9 @@ io/sys for AMG — they caused overfitting, §V-C).
 Shape targets: longer temporal context (m=8) lowers MAPE; larger horizon
 (k=10) lowers MAPE (bursts amortise); placement features add little;
 512-node errors slightly above 128-node ones.
+
+Window tensors come from each dataset's FeatureStore (via
+`repro.analysis.forecasting`), shared with Fig. 11's importance panels.
 """
 
 from __future__ import annotations

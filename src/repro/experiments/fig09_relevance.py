@@ -7,6 +7,9 @@ Shape targets (paper §V-B):
 * PT_RB_STL_RQ the most significant counter for UMT;
 * flit counters (PT_FLIT_VC0, RT_FLIT_TOT) most important for miniVite;
 * prediction MAPE < 5% for every dataset.
+
+The flattened mean-centered sample matrices come from each dataset's
+FeatureStore, so reruns and benchmarks share one construction.
 """
 
 from __future__ import annotations

@@ -3,6 +3,10 @@
 All four feature tiers.  Shape targets: larger m and k lower MAPE; adding
 io and then sys features successively improves MILC's forecasts
 (bandwidth-bound code, sensitive to system-wide I/O traffic, §V-C).
+
+Window tensors come from each dataset's FeatureStore; the
+(m=30, k=40, all-features) cell is the same tensor Fig. 11 and Fig. 12
+consume, so a combined fig10-fig12 run builds it once.
 """
 
 from __future__ import annotations

@@ -7,6 +7,10 @@ analysis, PT_RB_STL_RS rises for AMG-512.
 Right: MILC 128/512 at (m=30, k=40) with all 23 features — IO_PT_FLIT_TOT
 (system-wide filesystem traffic towards I/O routers) carries the highest
 relevance, dwarfing the job-local counters.
+
+Feature names and window tensors both come from one FeatureSpec per
+panel (via the dataset's FeatureStore), so labels cannot drift from the
+matrix columns.
 """
 
 from __future__ import annotations

@@ -5,6 +5,9 @@ segments, and predicted each segment's time from the preceding 30 steps
 using a model trained only on the regular (80-step) dataset.  Shape
 target: predictions track the observed segment times through the run's
 variability, with occasional biased segments (irreducible uncertainty).
+
+Training windows come from the MILC-128 dataset's FeatureStore — warm
+after a Fig. 10 run at the same (tier, m, k) cell.
 """
 
 from __future__ import annotations

@@ -12,6 +12,10 @@ Implements exactly what the paper's pipelines need:
 * :mod:`~repro.ml.attention` — the scalar dot-product attention + MLP
   forecaster (§IV-C, Vaswani et al. 2017), trained with Adam
   (:mod:`~repro.ml.nn`);
+* :mod:`~repro.ml.pipeline` — the :class:`Estimator` protocol every
+  model satisfies, composable :class:`Pipeline` steps (scaler,
+  windower), and the :func:`make_forecaster` registry that makes GBR,
+  ridge, forest, and attention interchangeable;
 * metrics, scalers and CV splitters.
 """
 
@@ -22,6 +26,14 @@ from repro.ml.linear import RidgeRegressor
 from repro.ml.metrics import mae, mape, r2_score, rmse
 from repro.ml.mi import mutual_information_binary, mutual_information_discrete
 from repro.ml.model_selection import GroupKFold, KFold, train_test_split
+from repro.ml.pipeline import (
+    Estimator,
+    MeanTargetForecaster,
+    Pipeline,
+    ScalerStep,
+    WindowFlattener,
+    make_forecaster,
+)
 from repro.ml.rfe import RFE, relevance_scores
 from repro.ml.scaling import StandardScaler
 from repro.ml.tree import DecisionTreeRegressor
@@ -32,6 +44,12 @@ __all__ = [
     "RandomForestRegressor",
     "RidgeRegressor",
     "DecisionTreeRegressor",
+    "Estimator",
+    "Pipeline",
+    "WindowFlattener",
+    "ScalerStep",
+    "MeanTargetForecaster",
+    "make_forecaster",
     "RFE",
     "relevance_scores",
     "mutual_information_binary",

@@ -56,19 +56,13 @@ class RidgeRegressor:
         return mag / s if s > 0 else mag
 
 
-class RidgeForecaster:
-    """Ridge over flattened (m, H) windows — the linear forecaster."""
+def RidgeForecaster(alpha: float = 10.0):
+    """Ridge over flattened (m, H) windows — the linear forecaster.
 
-    def __init__(self, alpha: float = 10.0) -> None:
-        self._ridge = RidgeRegressor(alpha=alpha)
+    A :class:`~repro.ml.pipeline.Pipeline` factory (kept under the old
+    class name): the window flattening that used to be duplicated here
+    now lives in one :class:`~repro.ml.pipeline.WindowFlattener` step.
+    """
+    from repro.ml.pipeline import Pipeline, WindowFlattener
 
-    def fit(self, x: np.ndarray, y: np.ndarray) -> "RidgeForecaster":
-        x = np.asarray(x, dtype=np.float64)
-        if x.ndim != 3:
-            raise ValueError("x must be (n, m, H) windows")
-        self._ridge.fit(x.reshape(len(x), -1), y)
-        return self
-
-    def predict(self, x: np.ndarray) -> np.ndarray:
-        x = np.asarray(x, dtype=np.float64)
-        return self._ridge.predict(x.reshape(len(x), -1))
+    return Pipeline([WindowFlattener()], RidgeRegressor(alpha=alpha))

@@ -22,6 +22,7 @@ import numpy as np
 from repro.ml.gbr import GradientBoostedRegressor
 from repro.ml.metrics import rmse
 from repro.ml.model_selection import KFold
+from repro.ml.pipeline import Estimator
 
 
 def default_estimator() -> GradientBoostedRegressor:
@@ -30,11 +31,16 @@ def default_estimator() -> GradientBoostedRegressor:
 
 
 class RFE:
-    """Single-pass recursive feature elimination."""
+    """Single-pass recursive feature elimination.
+
+    Works with any :class:`~repro.ml.pipeline.Estimator` that exposes
+    ``feature_importances_`` (GBR, forest, ridge, or a pipeline around
+    one) — the paper uses GBR.
+    """
 
     def __init__(
         self,
-        estimator_factory: Callable[[], GradientBoostedRegressor] = default_estimator,
+        estimator_factory: Callable[[], Estimator] = default_estimator,
         step: int = 1,
     ) -> None:
         if step < 1:
@@ -95,7 +101,7 @@ def relevance_scores(
     x: np.ndarray,
     y: np.ndarray,
     feature_names: list[str],
-    estimator_factory: Callable[[], GradientBoostedRegressor] = default_estimator,
+    estimator_factory: Callable[[], Estimator] = default_estimator,
     n_splits: int = 10,
     seed: int = 0,
     mape_offset: np.ndarray | None = None,

@@ -217,8 +217,6 @@ def synthesize_router_counters(state: NetworkState) -> dict[str, np.ndarray]:
     """
     from repro.config import FLIT_BYTES
 
-    topo = state.topology
-
     # Router-tile side: traffic and stalls on inter-router links.
     rt_flit = state.rt_flit_rate
     rt_stall = state.rt_stall_rate

@@ -24,7 +24,6 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.config import FLIT_BYTES
 from repro.network.traffic import FlowSet
 from repro.topology.dragonfly import DragonflyTopology
 
@@ -273,7 +272,7 @@ class PacketSimulator:
                     took_minimal[f] += 1
                 routed[f] += 1
                 lat_min_sum[f] += float(
-                    sum(self._service[l] for l in pkt.route)
+                    sum(self._service[link] for link in pkt.route)
                 )
             if pkt.hop >= len(pkt.route):
                 lat_sum[pkt.flow] += now - pkt.created

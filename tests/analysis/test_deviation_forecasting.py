@@ -142,9 +142,10 @@ def test_forecast_mape_reasonable_on_learnable_data():
 
 def test_forecast_tier_feature_counts():
     ds = _synthetic_dataset(n=12, t=16)
-    for tier, kwargs in TIERS.items():
-        feats = ds.features(**kwargs)
-        assert feats.shape[2] == len(ds.feature_names(**kwargs))
+    for tier, spec in TIERS.items():
+        feats = spec.matrix(ds)
+        assert feats.shape[2] == len(spec.feature_names())
+        assert feats.shape[2] == len(ds.feature_names(**spec.kwargs()))
 
 
 def test_forecast_unknown_tier():

@@ -10,7 +10,7 @@ from repro.analysis.neighborhood import (
     correlated_users_table,
     recovery_rate,
 )
-from repro.campaign.datasets import Campaign, RunDataset, RunRecord
+from repro.campaign.datasets import RunDataset, RunRecord
 
 
 def _mk_run(i, total, neighborhood, t=4):

@@ -10,7 +10,6 @@ from repro.apps.milc import MILC, REGULAR_STEPS, WARMUP_STEPS
 from repro.apps.minivite import MiniVite
 from repro.apps.registry import DATASET_KEYS, get_application
 from repro.apps.umt import UMT
-from repro.config import TINY
 from repro.topology.dragonfly import DragonflyTopology
 
 

@@ -5,7 +5,6 @@ from __future__ import annotations
 import pytest
 
 from repro.apps.characterize import characterize, characterize_all, render_profiles
-from repro.apps.registry import get_application
 
 
 @pytest.fixture(scope="module")

@@ -3,7 +3,6 @@
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.campaign.validate import validate_campaign, validate_dataset
 from tests.campaign.test_datasets_properties import _dataset

@@ -65,7 +65,7 @@ def test_valiant_route_detours(topo, sim):
     from repro.topology.dragonfly import LinkKind
 
     route = sim.valiant_route(a, b, rng)
-    n_blue = sum(1 for l in route if blue[l] == LinkKind.BLUE)
+    n_blue = sum(1 for link in route if blue[link] == LinkKind.BLUE)
     assert n_blue == 2  # via an intermediate group
 
 

@@ -104,7 +104,6 @@ def test_adaptive_split_reacts_to_congestion(tiny_topo):
 
 
 def test_endpoint_accounting(tiny_topo, tiny_engine):
-    t = tiny_topo
     flows = FlowSet(np.array([0, 0]), np.array([13, 25]), np.array([1e9, 2e9]))
     routed = tiny_engine.route(flows)
     state = tiny_engine.solve([routed])
@@ -141,7 +140,6 @@ def test_rt_aggregation_conserves_flits(tiny_topo, tiny_engine):
 
 
 def test_per_flow_endpoint_slowdown_tracks_hot_nic(tiny_topo, tiny_engine):
-    t = tiny_topo
     # Saturate router 5's NICs with incast.
     srcs = np.arange(20, 40)
     flows = FlowSet(srcs, np.full(20, 5), np.full(20, 3e9))

@@ -2,7 +2,8 @@
 
 The four domain examples actually *run* here under ``REPRO_FAST=1``,
 sharing one cached test-scale campaign (generated once per session into
-a shared cache directory), and each must print its headline result.
+a shared cache directory), and each must print its headline result
+within its wall-clock budget.
 """
 
 from __future__ import annotations
@@ -11,6 +12,7 @@ import os
 import re
 import subprocess
 import sys
+import time
 from pathlib import Path
 
 import pytest
@@ -26,6 +28,23 @@ DOMAIN_EXAMPLES = {
     "scheduling_whatif.py": "identified aggressors",
 }
 
+#: Wall-clock budget (seconds) per example under REPRO_FAST=1 with a warm
+#: campaign cache — roughly 10x the local runtime, so only a genuine
+#: regression (feature recomputation, an accidental benchmark-scale run)
+#: trips it.  Scale with REPRO_TIME_BUDGET_FACTOR for slow machines.
+TIME_BUDGETS = {
+    "quickstart.py": 30.0,
+    "neighborhood_blame.py": 20.0,
+    "deviation_counters.py": 120.0,
+    "forecast_milc.py": 30.0,
+    "scheduling_whatif.py": 20.0,
+}
+
+
+def _budget(name: str) -> float:
+    factor = float(os.environ.get("REPRO_TIME_BUDGET_FACTOR", "1"))
+    return TIME_BUDGETS[name] * factor
+
 
 def test_examples_exist():
     names = {p.name for p in EXAMPLES.glob("*.py")}
@@ -34,7 +53,8 @@ def test_examples_exist():
 
 
 def _run_example(name: str, env: dict[str, str]) -> subprocess.CompletedProcess:
-    return subprocess.run(
+    start = time.monotonic()
+    proc = subprocess.run(
         [sys.executable, str(EXAMPLES / name)],
         capture_output=True,
         text=True,
@@ -42,6 +62,13 @@ def _run_example(name: str, env: dict[str, str]) -> subprocess.CompletedProcess:
         env=env,
         cwd=str(REPO),
     )
+    elapsed = time.monotonic() - start
+    budget = _budget(name)
+    assert elapsed < budget, (
+        f"{name} took {elapsed:.1f}s, over its {budget:.0f}s fast-mode "
+        "budget (set REPRO_TIME_BUDGET_FACTOR to scale on slow machines)"
+    )
+    return proc
 
 
 @pytest.fixture(scope="session")
@@ -100,5 +127,7 @@ def test_domain_examples_share_one_campaign(example_env):
     """Under REPRO_FAST=1 every domain example resolves to the same
     campaign fingerprint, so CI pays for exactly one generation."""
     cache = Path(example_env["REPRO_CACHE_DIR"])
-    entries = [p for p in cache.iterdir() if p.is_dir()]
+    # The cache also holds the derived-feature tree (features/v*/...);
+    # campaign entries are every other top-level directory.
+    entries = [p for p in cache.iterdir() if p.is_dir() and p.name != "features"]
     assert len(entries) == 1, entries
