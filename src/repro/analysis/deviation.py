@@ -20,8 +20,10 @@ import numpy as np
 from repro.campaign.datasets import RunDataset
 from repro.features import get_store
 from repro.ml.gbr import GradientBoostedRegressor
+from repro.ml.pipeline import Pipeline
 from repro.ml.rfe import RelevanceResult, relevance_scores
 from repro.network.counters import APP_COUNTERS
+from repro.obs import span
 
 
 @dataclass
@@ -42,9 +44,15 @@ class DeviationAnalysis:
         return self.relevance.top_features(k)
 
 
-def default_deviation_estimator() -> GradientBoostedRegressor:
-    return GradientBoostedRegressor(
-        n_estimators=60, max_depth=3, learning_rate=0.1, random_state=0
+def default_deviation_estimator() -> Pipeline:
+    # A stepless Pipeline is numerically the bare GBR; going through the
+    # common Estimator surface gives the deviation fits the same
+    # ml.pipeline.* spans/counters as every other model in the stack.
+    return Pipeline(
+        [],
+        GradientBoostedRegressor(
+            n_estimators=60, max_depth=3, learning_rate=0.1, random_state=0
+        ),
     )
 
 
@@ -64,17 +72,18 @@ def deviation_analysis(
         raise ValueError(
             f"dataset {ds.key} has {len(ds)} runs; need >= {n_splits} for CV"
         )
-    x, y, offsets = get_store(ds).flat_mean_centered()
-    relevance = relevance_scores(
-        x,
-        y,
-        APP_COUNTERS,
-        estimator_factory=estimator_factory,
-        n_splits=n_splits,
-        seed=seed,
-        mape_offset=offsets,
-        max_samples=max_samples,
-    )
+    with span("analysis.deviation", dataset=ds.key, splits=n_splits):
+        x, y, offsets = get_store(ds).flat_mean_centered()
+        relevance = relevance_scores(
+            x,
+            y,
+            APP_COUNTERS,
+            estimator_factory=estimator_factory,
+            n_splits=n_splits,
+            seed=seed,
+            mape_offset=offsets,
+            max_samples=max_samples,
+        )
     return DeviationAnalysis(key=ds.key, relevance=relevance)
 
 

@@ -25,6 +25,7 @@ from repro.features import TIERS, FeatureSpec, build_windows, get_store
 from repro.ml.attention import AttentionForecaster, permutation_importance
 from repro.ml.metrics import mape
 from repro.ml.model_selection import GroupKFold
+from repro.obs import span
 
 __all__ = [
     "TIERS",
@@ -69,13 +70,18 @@ def forecast_mape(
 ) -> ForecastResult:
     """Grouped-CV MAPE of the forecaster on one (m, k, tier) cell."""
     spec = FeatureSpec.resolve(tier)
-    x, y, groups = get_store(ds).windows(spec, m, k, align_m=align_m)
-    gkf = GroupKFold(n_splits=n_splits, seed=seed)
-    per_fold = []
-    for fold, (train, test) in enumerate(gkf.split(groups)):
-        model = model_factory(seed + fold)
-        model.fit(x[train], y[train])
-        per_fold.append(mape(y[test], model.predict(x[test])))
+    with span(
+        "analysis.forecast", dataset=ds.key, m=m, k=k, tier=spec.name,
+        splits=n_splits,
+    ):
+        x, y, groups = get_store(ds).windows(spec, m, k, align_m=align_m)
+        gkf = GroupKFold(n_splits=n_splits, seed=seed)
+        per_fold = []
+        for fold, (train, test) in enumerate(gkf.split(groups)):
+            with span("analysis.forecast.fold", fold=fold):
+                model = model_factory(seed + fold)
+                model.fit(x[train], y[train])
+                per_fold.append(mape(y[test], model.predict(x[test])))
     return ForecastResult(
         key=ds.key,
         m=m,
@@ -137,12 +143,15 @@ def forecasting_feature_importances(
     spec = FeatureSpec.resolve(tier)
     store = get_store(ds)
     names = store.feature_names(spec)
-    x, y, _ = store.windows(spec, m, k)
-    model = model_factory(seed)
-    model.fit(x, y)
-    imp = permutation_importance(
-        model, x, y, metric=mape, rng=np.random.default_rng(seed)
-    )
+    with span(
+        "analysis.importances", dataset=ds.key, m=m, k=k, tier=spec.name
+    ):
+        x, y, _ = store.windows(spec, m, k)
+        model = model_factory(seed)
+        model.fit(x, y)
+        imp = permutation_importance(
+            model, x, y, metric=mape, rng=np.random.default_rng(seed)
+        )
     s = imp.sum()
     return names, imp / s if s > 0 else imp
 
@@ -180,20 +189,24 @@ def long_run_forecast(
     run was included in training the model").
     """
     spec = FeatureSpec.resolve(tier)
-    x, y, _ = get_store(train_ds).windows(spec, m, k)
-    model = model_factory(seed)
-    model.fit(x, y)
+    with span(
+        "analysis.long_run_forecast", dataset=train_ds.key, m=m, k=k,
+        tier=spec.name,
+    ):
+        x, y, _ = get_store(train_ds).windows(spec, m, k)
+        model = model_factory(seed)
+        model.fit(x, y)
 
-    # Long-run features in the same tier layout (one-off view; the spec
-    # guarantees the same column order as the training windows).
-    holder = RunDataset(key="long", runs=[long_run])
-    lf = spec.matrix(holder)[0]  # (T, H)
-    ly = long_run.step_times
-    t = len(ly)
-    starts = np.arange(m, t - k + 1, k)
-    windows = np.stack([lf[s - m : s, :] for s in starts])
-    observed = np.array([ly[s : s + k].sum() for s in starts])
-    predicted = model.predict(windows)
+        # Long-run features in the same tier layout (one-off view; the
+        # spec guarantees the same column order as the training windows).
+        holder = RunDataset(key="long", runs=[long_run])
+        lf = spec.matrix(holder)[0]  # (T, H)
+        ly = long_run.step_times
+        t = len(ly)
+        starts = np.arange(m, t - k + 1, k)
+        windows = np.stack([lf[s - m : s, :] for s in starts])
+        observed = np.array([ly[s : s + k].sum() for s in starts])
+        predicted = model.predict(windows)
     return LongRunForecast(
         key=train_ds.key,
         segment_steps=k,

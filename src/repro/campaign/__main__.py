@@ -7,6 +7,9 @@ import sys
 
 from repro.campaign.inspect import render_summary, summarize_campaign
 from repro.campaign.runner import CampaignConfig, run_campaign
+from repro.obs import configure_logging, get_logger
+
+_LOG = get_logger("campaign")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -39,6 +42,7 @@ def main(argv: list[str] | None = None) -> int:
         "for any value)",
     )
     args = parser.parse_args(argv)
+    configure_logging()
     cfg = CampaignConfig.tiny() if args.fast else CampaignConfig.small()
     if args.workers is not None:
         import dataclasses
@@ -59,6 +63,9 @@ def main(argv: list[str] | None = None) -> int:
             if root.exists():
                 shutil.rmtree(root)
     campaign = run_campaign(cfg, progress=True)
+    # Results (fingerprint, summary, validation verdict) are the CLI's
+    # output proper and stay on stdout; generation progress arrives as
+    # log records (see campaign/runner.py).
     print(f"campaign fingerprint: {cfg.fingerprint()}")
     print(render_summary(summarize_campaign(campaign)))
     print(f"ground-truth aggressors: {campaign.ground_truth_aggressors}")
@@ -69,7 +76,7 @@ def main(argv: list[str] | None = None) -> int:
         bad = {k: r for k, r in reports.items() if not r.ok}
         if bad:
             for key, rep in bad.items():
-                print(f"INVALID {key}: {', '.join(rep.failed())}")
+                _LOG.error("INVALID %s: %s", key, ", ".join(rep.failed()))
             return 1
         print(f"all {len(reports)} datasets pass the data contract")
     return 0

@@ -42,6 +42,9 @@ from repro.config import rng_for
 from repro.network.engine import BaseLoad, CongestionEngine, NetworkState
 from repro.network.counters import synthesize_router_counters
 from repro.network.ldms import LDMSSampler
+from repro.obs import current_span_id, remote_parent, span
+from repro.obs.log import configure_worker_logging
+from repro.obs.trace import attach_worker
 from repro.system.users import UserPopulation
 from repro.telemetry.ariesncl import AriesNCL
 from repro.telemetry.mpip import profile_run
@@ -168,9 +171,18 @@ _CTX_CACHE: "OrderedDict[int, object]" = OrderedDict()
 
 
 def _init_worker(config) -> None:
-    """Pool initializer: build the solving environment in the subprocess."""
+    """Pool initializer: build the solving environment in the subprocess.
+
+    Also mirrors the parent's observability: log records gain a
+    ``[w<pid>]`` tag when the parent configured logging, and spans append
+    to the parent's trace file (``REPRO_TRACE_FILE``, exported by
+    ``repro.obs.trace.start_run``).
+    """
     global _ENV
-    _ENV = WorkerEnv(config, in_subprocess=True)
+    configure_worker_logging()
+    attach_worker()
+    with span("campaign.worker_init"):
+        _ENV = WorkerEnv(config, in_subprocess=True)
     _CTX_CACHE.clear()
 
 
@@ -220,11 +232,12 @@ def _task_probe_contributions(
 ) -> list[tuple[int, BaseLoad]]:
     """Mean traffic contributions (as seen by other jobs) per probe."""
     out = []
-    for spec in specs:
-        ctx = _get_context(
-            spec.job_id, spec.key, spec.long_steps, spec.nodes, keep=True
-        )
-        out.append((spec.pi, ctx.mean_contribution()))
+    with span("campaign.task.probe_contributions", n=len(specs)):
+        for spec in specs:
+            ctx = _get_context(
+                spec.job_id, spec.key, spec.long_steps, spec.nodes, keep=True
+            )
+            out.append((spec.pi, ctx.mean_contribution()))
     return out
 
 
@@ -234,11 +247,12 @@ def _task_bg_contributions(
     """(steady comm, filesystem) contributions per background job."""
     env = _require_env()
     out = []
-    for spec in specs:
-        comm, io = env.bg_model.contribution_for(
-            spec.job_id, spec.user, spec.nodes
-        )
-        out.append((spec.job_id, comm, io))
+    with span("campaign.task.bg_contributions", n=len(specs)):
+        for spec in specs:
+            comm, io = env.bg_model.contribution_for(
+                spec.job_id, spec.user, spec.nodes
+            )
+            out.append((spec.job_id, comm, io))
     return out
 
 
@@ -250,7 +264,12 @@ def _task_solve_runs(
     env = _require_env()
     if env.in_subprocess and os.environ.get(_CRASH_ENV):
         os._exit(17)  # crash-path regression hook (see _CRASH_ENV)
-    return [_solve_one_run(task, windows, env) for task in tasks]
+    with span(
+        "campaign.task.solve",
+        runs=len(tasks),
+        steps=sum(len(t.window_ids) for t in tasks),
+    ):
+        return [_solve_one_run(task, windows, env) for task in tasks]
 
 
 def _solve_one_run(
@@ -386,6 +405,13 @@ def _solve_one_run(
     )
 
 
+def _remote_call(parent_span_id: "str | None", fn, *args):
+    """Run one task with the submitting span adopted as ambient parent,
+    so worker-side spans graft onto the parent process's span tree."""
+    with remote_parent(parent_span_id):
+        return fn(*args)
+
+
 # --------------------------------------------------------------------------- #
 # The pool.
 # --------------------------------------------------------------------------- #
@@ -426,9 +452,10 @@ class CampaignPool:
 
     def _submit(self, fn, *args):
         if not self.parallel:
+            # In-process: the ambient span context is already correct.
             return _DoneFuture(fn(*args))
         try:
-            return self._exec.submit(fn, *args)
+            return self._exec.submit(_remote_call, current_span_id(), fn, *args)
         except BrokenProcessPool as exc:  # pragma: no cover - rare
             raise CampaignWorkerError(
                 "campaign worker pool broke during submission"

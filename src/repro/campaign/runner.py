@@ -31,6 +31,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
@@ -55,6 +56,7 @@ from repro.network.engine import (
     NetworkState,
     slowdown_curve,
 )
+from repro.obs import METRICS, annotate, event, get_logger, span
 from repro.network.ldms import LDMSSampler
 from repro.network.traffic import (
     FlowSet,
@@ -74,6 +76,8 @@ from repro.topology.routing import Incidence
 
 #: Cori's KNL partition size; background job sizes scale relative to it.
 CORI_KNL_NODES = 9688
+
+_LOG = get_logger("campaign")
 
 #: Fingerprint version: bump when the generation pipeline changes in a way
 #: that invalidates cached campaigns.
@@ -698,16 +702,28 @@ class CampaignRunner:
 
     def run(self, progress: bool = False) -> Campaign:
         cfg = self.config
-        campaign = Campaign.load(cfg.fingerprint()) if cfg.use_cache else None
-        if campaign is None:
-            campaign = self._generate(progress=progress)
-            if cfg.use_cache:
-                campaign.save(cfg.fingerprint())
+        fingerprint = cfg.fingerprint()
+        with span("campaign.run", fingerprint=fingerprint) as sp:
+            campaign = Campaign.load(fingerprint) if cfg.use_cache else None
+            cached = campaign is not None
+            if campaign is None:
+                METRICS.counter("campaign.cache.misses").inc()
+                campaign = self._generate(progress=progress)
+                if cfg.use_cache:
+                    with span("campaign.save", fingerprint=fingerprint):
+                        campaign.save(fingerprint)
+            else:
+                METRICS.counter("campaign.cache.hits").inc()
+            sp.set(cached=cached)
+            annotate(
+                campaign_fingerprint=fingerprint,
+                campaign_cached=cached,
+                datasets=sorted(campaign.datasets),
+            )
         # Provenance stamp: lets each dataset's FeatureStore key its
         # derived-data cache off the campaign fingerprint instead of
         # hashing array contents (generation is deterministic, so the
         # fingerprint identifies the data whether or not it was cached).
-        fingerprint = cfg.fingerprint()
         for ds in campaign.datasets.values():
             ds.campaign_fingerprint = fingerprint
         return campaign
@@ -765,21 +781,28 @@ class CampaignRunner:
         from repro.campaign import parallel as par
 
         # 1. Jobs: background + probes, scheduled together.
-        bg_gen = BackgroundWorkloadGenerator.for_target_utilisation(
-            self.population,
-            rng_for("bg-workload", seed=cfg.seed),
-            total_nodes=len(topo.compute_nodes),
-            target_utilisation=cfg.target_utilization,
-            max_job_nodes=max(len(topo.compute_nodes) // 3, 4),
+        with span("campaign.schedule", days=cfg.days, workers=workers):
+            bg_gen = BackgroundWorkloadGenerator.for_target_utilisation(
+                self.population,
+                rng_for("bg-workload", seed=cfg.seed),
+                total_nodes=len(topo.compute_nodes),
+                target_utilisation=cfg.target_utilization,
+                max_job_nodes=max(len(topo.compute_nodes) // 3, 4),
+            )
+            bg_requests = bg_gen.generate(0.0, horizon)
+            probe_requests, plans = self._probe_requests()
+            scheduler = Scheduler(
+                topo,
+                rng=rng_for("scheduler", seed=cfg.seed),
+                horizon=horizon * 1.2,
+            )
+            result = scheduler.schedule(bg_requests + probe_requests)
+            sacct = SacctLog(result, topo)
+            probes = result.probes()
+        _LOG.info(
+            "scheduled %d background jobs and %d probe runs over %.0f days",
+            len(bg_requests), len(probes), cfg.days,
         )
-        bg_requests = bg_gen.generate(0.0, horizon)
-        probe_requests, plans = self._probe_requests()
-        scheduler = Scheduler(
-            topo, rng=rng_for("scheduler", seed=cfg.seed), horizon=horizon * 1.2
-        )
-        result = scheduler.schedule(bg_requests + probe_requests)
-        sacct = SacctLog(result, topo)
-        probes = result.probes()
 
         # 2. Probe sample plan: nominal step midpoints, in global time order.
         samples: list[tuple[float, int, int]] = []  # (t, probe idx, step)
@@ -826,37 +849,42 @@ class CampaignRunner:
         # 4. Assemble datasets.
         from repro.topology.placement import placement_features
 
-        datasets: dict[str, RunDataset] = {
-            key: RunDataset(key=key) for key in cfg.dataset_keys
-        }
-        for key, steps in cfg.long_runs:
-            datasets[f"{key}-long{steps}"] = RunDataset(key=f"{key}-long{steps}")
-
-        for pi, job in enumerate(probes):
-            plan = plan_list[pi]
-            res = results[pi]
-            feats = placement_features(topo, job.nodes)
-            key = (
-                f"{plan.key}-long{plan.long_steps}" if plan.long_steps else plan.key
-            )
-            ds = datasets[key]
-            ds.runs.append(
-                RunRecord(
-                    run_index=len(ds.runs),
-                    start_time=job.start_time,
-                    step_times=res.step_times,
-                    compute_times=res.compute_times,
-                    mpi_times=res.mpi_times,
-                    counters=res.counters,
-                    ldms=res.ldms,
-                    num_routers=feats["NUM_ROUTERS"],
-                    num_groups=feats["NUM_GROUPS"],
-                    neighborhood=sacct.neighborhood_users(
-                        job, min_nodes=cfg.min_neighbor_nodes
-                    ),
-                    routine_times=res.routine_times,
+        with span("campaign.assemble", runs=len(probes)):
+            datasets: dict[str, RunDataset] = {
+                key: RunDataset(key=key) for key in cfg.dataset_keys
+            }
+            for key, steps in cfg.long_runs:
+                datasets[f"{key}-long{steps}"] = RunDataset(
+                    key=f"{key}-long{steps}"
                 )
-            )
+
+            for pi, job in enumerate(probes):
+                plan = plan_list[pi]
+                res = results[pi]
+                feats = placement_features(topo, job.nodes)
+                key = (
+                    f"{plan.key}-long{plan.long_steps}"
+                    if plan.long_steps
+                    else plan.key
+                )
+                ds = datasets[key]
+                ds.runs.append(
+                    RunRecord(
+                        run_index=len(ds.runs),
+                        start_time=job.start_time,
+                        step_times=res.step_times,
+                        compute_times=res.compute_times,
+                        mpi_times=res.mpi_times,
+                        counters=res.counters,
+                        ldms=res.ldms,
+                        num_routers=feats["NUM_ROUTERS"],
+                        num_groups=feats["NUM_GROUPS"],
+                        neighborhood=sacct.neighborhood_users(
+                            job, min_nodes=cfg.min_neighbor_nodes
+                        ),
+                        routine_times=res.routine_times,
+                    )
+                )
 
         return Campaign(
             datasets=datasets,
@@ -898,27 +926,29 @@ class CampaignRunner:
         workers = pool.workers
         n_probes = len(probes)
 
+        start = perf_counter()
+
         # -- phase 1: probe mean contributions --------------------------- #
-        specs = [
-            par.ProbeSpec(
-                pi=pi,
-                job_id=probes[pi].job_id,
-                key=plan_list[pi].key,
-                long_steps=plan_list[pi].long_steps,
-                nodes=probes[pi].nodes,
-            )
-            for pi in range(n_probes)
-        ]
-        futures = [
-            pool.submit_probe_contributions(chunk)
-            for chunk in par.chunked(specs, workers * 2)
-        ]
-        probe_comm: dict[int, BaseLoad] = {}
-        for fut in futures:
-            for pi, comm in pool.result(fut):
-                probe_comm[pi] = comm
-        if progress:  # pragma: no cover
-            print(f"  campaign: routed {n_probes} probe placements")
+        with span("campaign.probe_contributions", probes=n_probes):
+            specs = [
+                par.ProbeSpec(
+                    pi=pi,
+                    job_id=probes[pi].job_id,
+                    key=plan_list[pi].key,
+                    long_steps=plan_list[pi].long_steps,
+                    nodes=probes[pi].nodes,
+                )
+                for pi in range(n_probes)
+            ]
+            futures = [
+                pool.submit_probe_contributions(chunk)
+                for chunk in par.chunked(specs, workers * 2)
+            ]
+            probe_comm: dict[int, BaseLoad] = {}
+            for fut in futures:
+                for pi, comm in pool.result(fut):
+                    probe_comm[pi] = comm
+        _LOG.info("routed %d probe placements", n_probes)
 
         # -- background contributions: batched lookahead loader ---------- #
         probe_ids = {j.job_id for j in probes}
@@ -982,17 +1012,47 @@ class CampaignRunner:
         chunk_size = max(1, min(8, -(-n_probes // (workers * 4))))
         max_inflight = workers * 2
 
+        # Per-dataset progress accounting: long runs land in their own
+        # dataset (the same keying the assembly phase uses).
+        ds_key = [
+            f"{p.key}-long{p.long_steps}" if p.long_steps else p.key
+            for p in plan_list
+        ]
+        ds_total: dict[str, int] = {}
+        for key in ds_key:
+            ds_total[key] = ds_total.get(key, 0) + 1
+        ds_done: dict[str, int] = dict.fromkeys(ds_total, 0)
+        runs_solved = METRICS.counter("campaign.runs_solved")
+
         def collect(fut) -> None:
             nonlocal done_runs
             chunk_results = pool.result(fut)
             for res in chunk_results:
                 results[res.pi] = res
+                ds_done[ds_key[res.pi]] += 1
             done_runs += len(chunk_results)
-            if progress:  # pragma: no cover
-                print(
-                    f"  campaign: {done_runs}/{n_probes} runs solved "
-                    f"({workers} worker{'s' if workers != 1 else ''})"
-                )
+            runs_solved.inc(len(chunk_results))
+            elapsed = perf_counter() - start
+            event(
+                "campaign.progress",
+                n_done=done_runs,
+                n_total=n_probes,
+                elapsed=round(elapsed, 3),
+                datasets={
+                    k: [ds_done[k], ds_total[k]] for k in sorted(ds_total)
+                },
+            )
+            _LOG.info(
+                "%d/%d runs solved in %.1fs (%d worker%s; %s)",
+                done_runs,
+                n_probes,
+                elapsed,
+                workers,
+                "s" if workers != 1 else "",
+                ", ".join(
+                    f"{k} {ds_done[k]}/{ds_total[k]}" for k in sorted(ds_total)
+                ),
+            )
 
         def flush() -> None:
             if not ready:
@@ -1025,34 +1085,46 @@ class CampaignRunner:
             while len(inflight) > max_inflight:
                 collect(inflight.popleft())
 
-        current_wid = -1
-        for t, pi, step in samples:
-            if timeline.advance(t) or current_wid < 0:
-                prev = current_wid
-                current_wid += 1
-                window_store[current_wid] = timeline.snapshot()
-                wref[current_wid] = 0
-                if prev >= 0 and wref.get(prev) == 0:
-                    del window_store[prev]
-                    del wref[prev]
-            win_ids[pi][step] = current_wid
-            weather_bufs[pi][step] = weather.at(t)
-            if current_wid not in run_windows[pi]:
-                run_windows[pi].add(current_wid)
-                wref[current_wid] += 1
-            remaining[pi] -= 1
-            if remaining[pi] == 0:
-                ready.append(pi)
-                if len(ready) >= chunk_size:
-                    flush()
-        flush()
-        while inflight:
-            collect(inflight.popleft())
+        with span(
+            "campaign.sweep", samples=len(samples), runs=n_probes,
+            workers=workers,
+        ):
+            current_wid = -1
+            for t, pi, step in samples:
+                if timeline.advance(t) or current_wid < 0:
+                    prev = current_wid
+                    current_wid += 1
+                    window_store[current_wid] = timeline.snapshot()
+                    wref[current_wid] = 0
+                    if prev >= 0 and wref.get(prev) == 0:
+                        del window_store[prev]
+                        del wref[prev]
+                win_ids[pi][step] = current_wid
+                weather_bufs[pi][step] = weather.at(t)
+                if current_wid not in run_windows[pi]:
+                    run_windows[pi].add(current_wid)
+                    wref[current_wid] += 1
+                remaining[pi] -= 1
+                if remaining[pi] == 0:
+                    ready.append(pi)
+                    if len(ready) >= chunk_size:
+                        flush()
+            flush()
+            while inflight:
+                collect(inflight.popleft())
         return results
 
 
 def run_campaign(
     config: CampaignConfig | None = None, progress: bool = False
 ) -> Campaign:
-    """Convenience wrapper: build (or load from cache) a campaign."""
+    """Convenience wrapper: build (or load from cache) a campaign.
+
+    ``progress=True`` makes the generation's INFO-level progress visible
+    (configuring ``repro`` logging if the caller has not).
+    """
+    if progress:
+        from repro.obs.log import configure_logging
+
+        configure_logging()
     return CampaignRunner(config or CampaignConfig.small()).run(progress=progress)

@@ -46,10 +46,14 @@ def run_experiment(exp_id: str, campaign=None, fast: bool = False) -> Experiment
     """Run one experiment by id."""
     import importlib
 
+    from repro.obs import ensure_run, span
+
     if exp_id not in EXPERIMENTS:
         raise KeyError(f"unknown experiment {exp_id!r}; expected one of {sorted(EXPERIMENTS)}")
+    ensure_run()
     target = EXPERIMENTS[exp_id]
     module_name, _, attr = target.partition(":")
     module = importlib.import_module(module_name)
     fn = getattr(module, attr) if attr else module.run
-    return fn(campaign=campaign, fast=fast)
+    with span(f"experiment.{exp_id}", fast=fast):
+        return fn(campaign=campaign, fast=fast)

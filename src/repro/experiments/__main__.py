@@ -6,6 +6,7 @@ import argparse
 import sys
 
 from repro.experiments import EXPERIMENTS, run_experiment
+from repro.obs import configure_logging
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -30,6 +31,7 @@ def main(argv: list[str] | None = None) -> int:
         help="also write JSON/CSV/TXT result files into DIR",
     )
     args = parser.parse_args(argv)
+    configure_logging()
     if args.experiment == "all":
         from repro.experiments import PAPER_EXPERIMENTS
 

@@ -23,6 +23,7 @@ from collections import OrderedDict
 
 from repro.campaign.datasets import Campaign
 from repro.campaign.runner import CampaignConfig, run_campaign
+from repro.obs import METRICS, span
 
 _CACHE: "OrderedDict[str, Campaign]" = OrderedDict()
 
@@ -61,9 +62,12 @@ def get_campaign(campaign: Campaign | None = None, fast: bool = False) -> Campai
     cfg = experiment_config(fast)
     key = cfg.fingerprint()
     if key in _CACHE:
+        METRICS.counter("experiments.campaign.memo_hits").inc()
         _CACHE.move_to_end(key)
         return _CACHE[key]
-    camp = run_campaign(cfg)
+    with span("experiments.get_campaign", fingerprint=key) as sp:
+        camp = run_campaign(cfg)
+        sp.set(datasets=len(list(camp.keys())))
     _CACHE[key] = camp
     while len(_CACHE) > campaign_cache_size():
         _CACHE.popitem(last=False)

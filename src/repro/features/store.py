@@ -34,38 +34,58 @@ import hashlib
 import os
 import warnings
 import weakref
-from dataclasses import dataclass
 from pathlib import Path
+from time import perf_counter
 
 import numpy as np
 
 from repro.campaign.datasets import Campaign, FileLock, RunDataset
 from repro.features.spec import LDMS_SPEC, FeatureSpec
 from repro.features.windows import build_windows, validate_window_params
+from repro.obs import METRICS, span
 
 #: On-disk feature cache format version; folded into the entry path so a
 #: layout change is an automatic miss.
 FEATURE_FORMAT_VERSION = 1
 
+#: The store's counters on the process-wide registry
+#: (:data:`repro.obs.METRICS`); instrument references stay valid across
+#: ``METRICS.reset()``, so caching them here is safe.
+_HITS = METRICS.counter("features.cache.hits")
+_DISK_HITS = METRICS.counter("features.cache.disk_hits")
+_MISSES = METRICS.counter("features.cache.misses")
+_BUILD_SECONDS = METRICS.histogram("features.build.seconds")
 
-@dataclass
+
 class CacheStats:
-    """Counters over every store in the process (see :data:`STATS`).
+    """Back-compat view of the feature-cache counters (see :data:`STATS`).
 
+    The counts themselves live on :data:`repro.obs.METRICS` (so traces
+    and the ``repro.obs report`` CLI see them); this facade keeps the
+    original ``hits``/``disk_hits``/``misses``/``snapshot()`` surface.
     ``misses`` counts actual feature builds; a warm pipeline must show a
     zero miss delta (asserted in ``tests/features``).
     """
 
-    hits: int = 0
-    disk_hits: int = 0
-    misses: int = 0
+    @property
+    def hits(self) -> int:
+        return _HITS.value
+
+    @property
+    def disk_hits(self) -> int:
+        return _DISK_HITS.value
+
+    @property
+    def misses(self) -> int:
+        return _MISSES.value
 
     @property
     def total(self) -> int:
         return self.hits + self.disk_hits + self.misses
 
     def reset(self) -> None:
-        self.hits = self.disk_hits = self.misses = 0
+        for c in (_HITS, _DISK_HITS, _MISSES):
+            c._reset()
 
     def snapshot(self) -> tuple[int, int, int]:
         return (self.hits, self.disk_hits, self.misses)
@@ -144,16 +164,21 @@ class FeatureStore:
     def _get(self, token: str, build, disk: bool = True) -> dict[str, np.ndarray]:
         entry = self._memo.get(token)
         if entry is not None:
-            STATS.hits += 1
+            _HITS.inc()
             return entry
         if disk and self.persist:
-            entry = self._disk_load(token)
+            with span("features.disk_load", token=token, dataset=self.ds.key):
+                entry = self._disk_load(token)
             if entry is not None:
-                STATS.disk_hits += 1
+                _DISK_HITS.inc()
                 self._memo[token] = entry
                 return entry
-        STATS.misses += 1
-        entry = build()
+        _MISSES.inc()
+        with span("features.build", token=token, dataset=self.ds.key) as sp:
+            t0 = perf_counter()
+            entry = build()
+            _BUILD_SECONDS.observe(perf_counter() - t0)
+            sp.set(persisted=bool(disk and self.persist))
         self._memo[token] = entry
         if disk and self.persist:
             self._disk_save(token, entry)

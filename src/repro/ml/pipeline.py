@@ -24,6 +24,7 @@ from typing import Protocol, Sequence, runtime_checkable
 import numpy as np
 
 from repro.ml.scaling import StandardScaler
+from repro.obs import METRICS, span
 
 
 @runtime_checkable
@@ -105,15 +106,24 @@ class Pipeline:
         self.estimator = estimator
 
     def fit(self, x: np.ndarray, y: np.ndarray) -> "Pipeline":
-        for step in self.steps:
-            x = step.fit(x, y).transform(x)
-        self.estimator.fit(x, y)
+        est_name = type(self.estimator).__name__
+        with span("ml.pipeline.fit", estimator=est_name, n=len(x)):
+            for step in self.steps:
+                with span("ml.step.fit", step=type(step).__name__):
+                    x = step.fit(x, y).transform(x)
+            with span("ml.estimator.fit", estimator=est_name, n=len(x)):
+                self.estimator.fit(x, y)
+            METRICS.counter("ml.pipeline.fits").inc()
         return self
 
     def predict(self, x: np.ndarray) -> np.ndarray:
-        for step in self.steps:
-            x = step.transform(x)
-        return self.estimator.predict(x)
+        est_name = type(self.estimator).__name__
+        with span("ml.pipeline.predict", estimator=est_name, n=len(x)):
+            for step in self.steps:
+                with span("ml.step.predict", step=type(step).__name__):
+                    x = step.transform(x)
+            with span("ml.estimator.predict", estimator=est_name):
+                return self.estimator.predict(x)
 
     @property
     def feature_importances_(self) -> np.ndarray:

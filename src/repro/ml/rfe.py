@@ -23,6 +23,7 @@ from repro.ml.gbr import GradientBoostedRegressor
 from repro.ml.metrics import rmse
 from repro.ml.model_selection import KFold
 from repro.ml.pipeline import Estimator
+from repro.obs import span
 
 
 def default_estimator() -> GradientBoostedRegressor:
@@ -56,6 +57,10 @@ class RFE:
         x = np.asarray(x, dtype=np.float64)
         y = np.asarray(y, dtype=np.float64).ravel()
         h = x.shape[1]
+        with span("ml.rfe.fit", features=h, n=len(x)):
+            return self._fit(x, y, h)
+
+    def _fit(self, x: np.ndarray, y: np.ndarray, h: int) -> "RFE":
         remaining = list(range(h))
         ranking = np.empty(h, dtype=np.int64)
         order: list[int] = []
@@ -143,37 +148,42 @@ def relevance_scores(
     chosen_all: list[list[int]] = []
     mapes: list[float] = []
     kf = KFold(n_splits=n_splits, shuffle=True, seed=seed)
-    for train, test in kf.split(len(x)):
-        # Elimination path on the train fold.
-        rfe = RFE(estimator_factory)
-        rfe.fit(x[train], y[train])
-        ranking = rfe.ranking_
-        # Score nested subsets on the held-out fold; keep the best.
-        best_err = np.inf
-        best_subset: list[int] = list(range(h))
-        for k in range(1, h + 1):
-            subset = [f for f in range(h) if ranking[f] <= k]
-            est = estimator_factory()
-            est.fit(x[train][:, subset], y[train])
-            pred = est.predict(x[test][:, subset])
-            err = rmse(y[test], pred)
-            if err < best_err - 1e-12:
-                best_err = err
-                best_subset = subset
-        counts[best_subset] += 1.0
-        chosen_all.append(best_subset)
-        # Full-model prediction MAPE on reconstructed targets.
-        est = estimator_factory()
-        est.fit(x[train], y[train])
-        pred = est.predict(x[test])
-        if mape_offset is not None:
-            truth = y[test] + mape_offset[test]
-            pred = pred + mape_offset[test]
-        else:
-            truth = y[test]
-        from repro.ml.metrics import mape as _mape
+    relevance_span = span(
+        "ml.rfe.relevance", features=h, n=len(x), splits=n_splits
+    )
+    with relevance_span:
+        for fold, (train, test) in enumerate(kf.split(len(x))):
+            with span("ml.rfe.fold", fold=fold):
+                # Elimination path on the train fold.
+                rfe = RFE(estimator_factory)
+                rfe.fit(x[train], y[train])
+                ranking = rfe.ranking_
+                # Score nested subsets on the held-out fold; keep the best.
+                best_err = np.inf
+                best_subset: list[int] = list(range(h))
+                for k in range(1, h + 1):
+                    subset = [f for f in range(h) if ranking[f] <= k]
+                    est = estimator_factory()
+                    est.fit(x[train][:, subset], y[train])
+                    pred = est.predict(x[test][:, subset])
+                    err = rmse(y[test], pred)
+                    if err < best_err - 1e-12:
+                        best_err = err
+                        best_subset = subset
+                counts[best_subset] += 1.0
+                chosen_all.append(best_subset)
+                # Full-model prediction MAPE on reconstructed targets.
+                est = estimator_factory()
+                est.fit(x[train], y[train])
+                pred = est.predict(x[test])
+                if mape_offset is not None:
+                    truth = y[test] + mape_offset[test]
+                    pred = pred + mape_offset[test]
+                else:
+                    truth = y[test]
+                from repro.ml.metrics import mape as _mape
 
-        mapes.append(_mape(truth, pred))
+                mapes.append(_mape(truth, pred))
     return RelevanceResult(
         feature_names=list(feature_names),
         scores=counts / n_splits,

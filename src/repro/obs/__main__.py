@@ -1,0 +1,57 @@
+"""CLI: ``python -m repro.obs report [<trace.jsonl> | <dir>] [--tree]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.obs.report import latest_trace, load_trace, render_report
+from repro.obs.trace import trace_dir
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.obs",
+        description="Inspect repro observability traces.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    rep = sub.add_parser(
+        "report",
+        help="summarise one trace: self/cumulative span times and cache "
+        "hit rates",
+    )
+    rep.add_argument(
+        "trace",
+        nargs="?",
+        default=None,
+        help="trace .jsonl file or a directory holding traces (default: "
+        "newest trace under the trace dir)",
+    )
+    rep.add_argument(
+        "--tree",
+        action="store_true",
+        help="also print the full span tree in start order",
+    )
+    args = parser.parse_args(argv)
+
+    target = args.trace
+    if target is None:
+        target = trace_dir()
+    from pathlib import Path
+
+    path = Path(target)
+    if path.is_dir():
+        found = latest_trace(path)
+        if found is None:
+            print(f"no traces under {path}", file=sys.stderr)
+            return 1
+        path = found
+    if not path.exists():
+        print(f"no such trace: {path}", file=sys.stderr)
+        return 1
+    print(render_report(load_trace(path), tree=args.tree))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,216 @@
+"""Parse a JSONL trace and render the self/cumulative-time report.
+
+The report aggregates spans by name:
+
+* **cum** — total wall time spent inside spans of that name;
+* **self** — cum minus the time covered by *direct* child spans (clamped
+  at zero: parallel children legitimately overlap their parent);
+* **calls** — span count.
+
+plus the run manifest header, annotations, events, and a cache hit-rate
+summary computed from every process's final metrics records.
+"""
+
+from __future__ import annotations
+
+import json
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+@dataclass
+class TraceData:
+    """Everything one JSONL trace file contained, bucketed by type."""
+
+    path: Path
+    manifest: dict | None = None
+    spans: list[dict] = field(default_factory=list)
+    events: list[dict] = field(default_factory=list)
+    annotations: list[dict] = field(default_factory=list)
+    metrics: list[dict] = field(default_factory=list)
+
+    def merged_metrics(self) -> dict[str, object]:
+        """Metric values summed across all processes' final snapshots."""
+        out: dict[str, object] = {}
+        for rec in self.metrics:
+            for name, val in rec.get("values", {}).items():
+                if isinstance(val, dict):
+                    agg = out.setdefault(name, {})
+                    for k, v in val.items():
+                        if k == "min":
+                            agg[k] = min(agg.get(k, v), v)
+                        elif k == "max":
+                            agg[k] = max(agg.get(k, v), v)
+                        elif k != "mean":
+                            agg[k] = agg.get(k, 0) + v
+                else:
+                    out[name] = out.get(name, 0) + val
+        return out
+
+
+def load_trace(path: "Path | str") -> TraceData:
+    """Read a trace, tolerating torn/corrupt lines (warned and skipped)."""
+    path = Path(path)
+    data = TraceData(path=path)
+    bad = 0
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except json.JSONDecodeError:
+                bad += 1
+                continue
+            t = rec.get("t")
+            if t == "manifest" and data.manifest is None:
+                data.manifest = rec
+            elif t == "span":
+                data.spans.append(rec)
+            elif t == "event":
+                data.events.append(rec)
+            elif t == "annotation":
+                data.annotations.append(rec)
+            elif t == "metrics":
+                data.metrics.append(rec)
+    if bad:
+        warnings.warn(
+            f"skipped {bad} unparseable line(s) in {path}", RuntimeWarning,
+            stacklevel=2,
+        )
+    return data
+
+
+@dataclass
+class SpanAggregate:
+    name: str
+    calls: int
+    cum: float
+    self_time: float
+
+
+def aggregate_spans(spans: list[dict]) -> list[SpanAggregate]:
+    """Per-name call counts with cumulative and self times, self-sorted."""
+    child_time: dict[str, float] = {}
+    for rec in spans:
+        parent = rec.get("parent")
+        if parent is not None:
+            child_time[parent] = child_time.get(parent, 0.0) + rec["dur"]
+    agg: dict[str, SpanAggregate] = {}
+    for rec in spans:
+        a = agg.get(rec["name"])
+        if a is None:
+            a = agg[rec["name"]] = SpanAggregate(rec["name"], 0, 0.0, 0.0)
+        a.calls += 1
+        a.cum += rec["dur"]
+        a.self_time += max(rec["dur"] - child_time.get(rec["id"], 0.0), 0.0)
+    return sorted(agg.values(), key=lambda a: -a.self_time)
+
+
+def span_tree(spans: list[dict]) -> list[tuple[int, dict]]:
+    """(depth, span) pairs in start order — orphans surface as roots."""
+    by_id = {rec["id"]: rec for rec in spans}
+    children: dict[str | None, list[dict]] = {}
+    for rec in sorted(spans, key=lambda r: r["ts"]):
+        parent = rec.get("parent")
+        if parent not in by_id:
+            parent = None
+        children.setdefault(parent, []).append(rec)
+    out: list[tuple[int, dict]] = []
+
+    def walk(parent, depth: int) -> None:
+        for rec in children.get(parent, []):
+            out.append((depth, rec))
+            walk(rec["id"], depth + 1)
+
+    walk(None, 0)
+    return out
+
+
+def _cache_summary(metrics: dict[str, object]) -> list[str]:
+    lines = []
+    hits = int(metrics.get("features.cache.hits", 0) or 0)
+    disk = int(metrics.get("features.cache.disk_hits", 0) or 0)
+    misses = int(metrics.get("features.cache.misses", 0) or 0)
+    total = hits + disk + misses
+    if total:
+        lines.append(
+            f"feature cache: {hits} memo hits, {disk} disk hits, "
+            f"{misses} builds "
+            f"({100.0 * (hits + disk) / total:.1f}% hit rate)"
+        )
+    camp_hits = int(metrics.get("campaign.cache.hits", 0) or 0)
+    camp_miss = int(metrics.get("campaign.cache.misses", 0) or 0)
+    if camp_hits + camp_miss:
+        lines.append(
+            f"campaign cache: {camp_hits} hits, {camp_miss} generations"
+        )
+    return lines
+
+
+def render_report(data: TraceData, tree: bool = False) -> str:
+    """The human-readable report ``python -m repro.obs report`` prints."""
+    lines: list[str] = []
+    man = data.manifest
+    if man is not None:
+        lines.append(f"run:      {man.get('run_id', '?')}")
+        lines.append(f"argv:     {' '.join(man.get('argv', []))}")
+        versions = man.get("versions", {})
+        vers = ", ".join(f"{k} {v}" for k, v in versions.items())
+        lines.append(f"platform: {man.get('platform', '?')} ({vers})")
+        env = man.get("env", {})
+        if env:
+            lines.append(
+                "env:      "
+                + " ".join(f"{k}={v}" for k, v in sorted(env.items()))
+            )
+    for rec in data.annotations:
+        kv = " ".join(f"{k}={v}" for k, v in rec.get("attrs", {}).items())
+        lines.append(f"note:     {kv}")
+    lines.append("")
+
+    aggs = aggregate_spans(data.spans)
+    if aggs:
+        total = sum(a.self_time for a in aggs) or 1.0
+        name_w = max(len(a.name) for a in aggs)
+        name_w = max(name_w, len("span"))
+        lines.append(
+            f"{'span':<{name_w}}  {'calls':>6}  {'cum s':>9}  "
+            f"{'self s':>9}  {'self %':>6}"
+        )
+        lines.append("-" * (name_w + 37))
+        for a in aggs:
+            lines.append(
+                f"{a.name:<{name_w}}  {a.calls:>6}  {a.cum:>9.3f}  "
+                f"{a.self_time:>9.3f}  {100.0 * a.self_time / total:>5.1f}%"
+            )
+    else:
+        lines.append("(no spans recorded)")
+    lines.append("")
+
+    cache = _cache_summary(data.merged_metrics())
+    if cache:
+        lines.extend(cache)
+
+    failed = [rec for rec in data.spans if not rec.get("ok", True)]
+    if failed:
+        lines.append("")
+        lines.append(f"{len(failed)} span(s) ended in an exception:")
+        for rec in failed[:10]:
+            lines.append(f"  {rec['name']}: {rec.get('err', '?')}")
+
+    if tree:
+        lines.append("")
+        for depth, rec in span_tree(data.spans):
+            lines.append(f"{'  ' * depth}{rec['name']}  {rec['dur']:.3f}s")
+    return "\n".join(lines)
+
+
+def latest_trace(directory: "Path | str") -> Path | None:
+    """The most recently modified ``*.jsonl`` trace in a directory."""
+    paths = sorted(
+        Path(directory).glob("*.jsonl"), key=lambda p: p.stat().st_mtime
+    )
+    return paths[-1] if paths else None

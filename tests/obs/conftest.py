@@ -1,0 +1,39 @@
+"""Shared fixtures: an isolated trace run per test, cleaned up after."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.obs import trace
+
+
+def read_records(path: Path) -> list[dict]:
+    return [
+        json.loads(line)
+        for line in path.read_text(encoding="utf-8").splitlines()
+        if line.strip()
+    ]
+
+
+@pytest.fixture
+def clean_trace_state(monkeypatch):
+    """No run open, no trace env leaking in or out of the test."""
+    trace.end_run()
+    monkeypatch.delenv(trace.TRACE_ENV, raising=False)
+    monkeypatch.delenv(trace.TRACE_DIR_ENV, raising=False)
+    monkeypatch.delenv(trace.TRACE_FILE_ENV, raising=False)
+    trace._refresh_gate()
+    yield
+    trace.end_run()
+    trace._refresh_gate()
+
+
+@pytest.fixture
+def trace_file(tmp_path, clean_trace_state) -> Path:
+    """An open trace run writing into a per-test file."""
+    path = tmp_path / "trace.jsonl"
+    trace.start_run("test", path=path)
+    return path

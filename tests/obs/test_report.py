@@ -1,0 +1,188 @@
+"""Report rendering: self/cum aggregation, tree assembly, the CLI."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.obs import METRICS, annotate, span
+from repro.obs import trace
+from repro.obs.__main__ import main as obs_main
+from repro.obs.report import (
+    TraceData,
+    aggregate_spans,
+    latest_trace,
+    render_report,
+    span_tree,
+)
+
+
+def _span(name, sid, parent, ts, dur, ok=True):
+    return {
+        "t": "span", "name": name, "id": sid, "parent": parent,
+        "pid": 1, "ts": ts, "dur": dur, "ok": ok,
+    }
+
+
+def test_aggregate_self_time_subtracts_direct_children():
+    spans = [
+        _span("child", "1.2", "1.1", 0.1, 0.3),
+        _span("child", "1.3", "1.1", 0.5, 0.2),
+        _span("root", "1.1", None, 0.0, 1.0),
+    ]
+    by_name = {a.name: a for a in aggregate_spans(spans)}
+    assert by_name["root"].cum == 1.0
+    assert abs(by_name["root"].self_time - 0.5) < 1e-12
+    assert by_name["child"].calls == 2
+    assert abs(by_name["child"].cum - 0.5) < 1e-12
+
+
+def test_aggregate_clamps_overlapping_parallel_children():
+    """Workers' child spans can sum past the parent's wall time."""
+    spans = [
+        _span("task", "1.2", "1.1", 0.0, 0.9),
+        _span("task", "1.3", "1.1", 0.0, 0.9),
+        _span("pool", "1.1", None, 0.0, 1.0),
+    ]
+    by_name = {a.name: a for a in aggregate_spans(spans)}
+    assert by_name["pool"].self_time == 0.0
+
+
+def test_span_tree_depths_and_orphans():
+    spans = [
+        _span("root", "1.1", None, 0.0, 1.0),
+        _span("mid", "1.2", "1.1", 0.1, 0.5),
+        _span("leaf", "1.3", "1.2", 0.2, 0.1),
+        _span("orphan", "2.9", "2.1", 0.3, 0.2),  # parent never recorded
+    ]
+    tree = span_tree(spans)
+    depths = {rec["name"]: depth for depth, rec in tree}
+    assert depths == {"root": 0, "mid": 1, "leaf": 2, "orphan": 0}
+    assert len(tree) == 4
+
+
+def test_render_report_table_cache_and_failures(tmp_path):
+    data = TraceData(
+        path=tmp_path / "x.jsonl",
+        manifest={
+            "t": "manifest", "run_id": "r1", "argv": ["prog"],
+            "platform": "linux", "versions": {"python": "3.11"},
+            "env": {"REPRO_FAST": "1"},
+        },
+        spans=[
+            _span("work", "1.1", None, 0.0, 2.0),
+            _span("broken", "1.2", "1.1", 0.5, 0.1, ok=False)
+            | {"err": "ValueError: nope"},
+        ],
+        metrics=[
+            {
+                "t": "metrics", "pid": 1, "worker": False,
+                "values": {
+                    "features.cache.hits": 3,
+                    "features.cache.disk_hits": 1,
+                    "features.cache.misses": 4,
+                    "campaign.cache.hits": 1,
+                },
+            },
+            {
+                "t": "metrics", "pid": 2, "worker": True,
+                "values": {"features.cache.misses": 2},
+            },
+        ],
+    )
+    out = render_report(data, tree=True)
+    assert "run:      r1" in out
+    assert "REPRO_FAST=1" in out
+    assert "work" in out and "broken" in out
+    # 3 memo + 1 disk out of 10 total accesses across both processes.
+    assert "feature cache: 3 memo hits, 1 disk hits, 6 builds (40.0% hit rate)" in out
+    assert "campaign cache: 1 hits, 0 generations" in out
+    assert "1 span(s) ended in an exception:" in out
+    assert "broken: ValueError: nope" in out
+    assert "  broken" in out  # tree indentation
+
+
+def test_merged_metrics_histograms_combine_min_max():
+    data = TraceData(
+        path=Path("x"),
+        metrics=[
+            {"values": {"h": {"count": 2, "total": 3.0, "min": 1.0, "max": 2.0}}},
+            {"values": {"h": {"count": 1, "total": 0.5, "min": 0.5, "max": 0.5}}},
+        ],
+    )
+    merged = data.merged_metrics()
+    assert merged["h"]["count"] == 3
+    assert merged["h"]["total"] == 3.5
+    assert merged["h"]["min"] == 0.5
+    assert merged["h"]["max"] == 2.0
+
+
+def test_latest_trace_picks_newest(tmp_path):
+    assert latest_trace(tmp_path) is None
+    old = tmp_path / "a.jsonl"
+    new = tmp_path / "b.jsonl"
+    old.write_text("{}\n")
+    new.write_text("{}\n")
+    import os
+
+    os.utime(old, (1, 1))
+    assert latest_trace(tmp_path) == new
+
+
+def _write_real_trace(tmp_path) -> Path:
+    path = tmp_path / "real.jsonl"
+    trace.start_run("clitest", path=path)
+    with span("cli.work", n=2):
+        annotate(campaign_fingerprint="deadbeef")
+        METRICS.counter("features.cache.hits").inc()
+    trace.end_run()
+    return path
+
+
+def test_cli_report_on_file(tmp_path, clean_trace_state, capsys):
+    path = _write_real_trace(tmp_path)
+    assert obs_main(["report", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "cli.work" in out
+    assert "campaign_fingerprint=deadbeef" in out
+    assert "self %" in out
+
+
+def test_cli_report_on_directory(tmp_path, clean_trace_state, capsys):
+    _write_real_trace(tmp_path)
+    assert obs_main(["report", str(tmp_path)]) == 0
+    assert "cli.work" in capsys.readouterr().out
+
+
+def test_cli_report_tree_flag(tmp_path, clean_trace_state, capsys):
+    path = _write_real_trace(tmp_path)
+    assert obs_main(["report", str(path), "--tree"]) == 0
+    assert "cli.work  " in capsys.readouterr().out
+
+
+def test_cli_report_empty_dir_fails(tmp_path, capsys):
+    assert obs_main(["report", str(tmp_path)]) == 1
+    assert "no traces" in capsys.readouterr().err
+
+
+def test_cli_report_missing_file_fails(tmp_path, capsys):
+    assert obs_main(["report", str(tmp_path / "nope.jsonl")]) == 1
+    assert "no such trace" in capsys.readouterr().err
+
+
+def test_cli_default_uses_trace_dir(tmp_path, clean_trace_state, monkeypatch, capsys):
+    monkeypatch.setenv(trace.TRACE_DIR_ENV, str(tmp_path))
+    _write_real_trace(tmp_path)
+    assert obs_main(["report"]) == 0
+    assert "cli.work" in capsys.readouterr().out
+
+
+def test_report_output_is_json_free(tmp_path, clean_trace_state, capsys):
+    """The report is the human view; raw JSON stays in the file."""
+    path = _write_real_trace(tmp_path)
+    obs_main(["report", str(path)])
+    out = capsys.readouterr().out
+    assert not any(line.startswith("{") for line in out.splitlines())
+    # ... while the trace itself is line-delimited JSON.
+    for line in path.read_text().splitlines():
+        json.loads(line)
