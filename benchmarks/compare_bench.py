@@ -1,0 +1,71 @@
+"""CI gate: compare fresh BENCH_*.json files against committed baselines.
+
+The comparison is on ``serial_normalized_wall`` — the workers=1 wall
+divided by the machine calibration factor — so a faster or slower runner
+cancels out and only *algorithmic* regressions trip the gate.  Speedup
+numbers are informational (they depend on the runner's core count).
+
+Usage::
+
+    python -m benchmarks.compare_bench --baseline benchmarks/baselines \
+        --current bench_out --tolerance 0.25
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+from pathlib import Path
+
+
+def compare(baseline_dir: Path, current_dir: Path, tolerance: float) -> list[str]:
+    """Regression messages (empty = pass)."""
+    failures = []
+    baselines = sorted(baseline_dir.glob("BENCH_*.json"))
+    if not baselines:
+        return [f"no baselines found under {baseline_dir}"]
+    for base_path in baselines:
+        base = json.loads(base_path.read_text())
+        cur_path = current_dir / base_path.name
+        if not cur_path.exists():
+            failures.append(f"{base_path.name}: missing from current run")
+            continue
+        cur = json.loads(cur_path.read_text())
+        if cur.get("dataset_fingerprint") != base.get("dataset_fingerprint"):
+            # A campaign-config change moves the goalposts; report, don't gate.
+            print(f"{base_path.name}: dataset fingerprint changed, skipping "
+                  "wall comparison (re-baseline)")
+            continue
+        ref = base["serial_normalized_wall"]
+        got = cur["serial_normalized_wall"]
+        ratio = got / ref if ref > 0 else float("inf")
+        verdict = "OK" if ratio <= 1 + tolerance else "REGRESSION"
+        print(f"{base['name']}: normalized serial wall {ref:.2f} -> {got:.2f} "
+              f"({ratio:.2f}x, tolerance {1 + tolerance:.2f}x) {verdict}")
+        if ratio > 1 + tolerance:
+            failures.append(
+                f"{base['name']}: {ratio:.2f}x over baseline "
+                f"(limit {1 + tolerance:.2f}x)"
+            )
+        speed = cur.get("best_speedup_vs_serial")
+        if speed is not None:
+            print(f"  speedup at workers={cur.get('best_speedup_workers')}: "
+                  f"{speed:.2f}x (informational)")
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    ap.add_argument("--baseline", default="benchmarks/baselines")
+    ap.add_argument("--current", required=True)
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed fractional slowdown (0.25 = +25%%)")
+    args = ap.parse_args(argv)
+    failures = compare(Path(args.baseline), Path(args.current), args.tolerance)
+    for msg in failures:
+        print(f"FAIL: {msg}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

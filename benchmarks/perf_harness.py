@@ -1,0 +1,140 @@
+"""Perf-regression harness: timed figure drivers across worker counts.
+
+Emits one ``BENCH_<name>.json`` per benched driver with the wall time at
+every requested worker count, a machine calibration factor, and the
+dataset fingerprint — the file committed under ``benchmarks/baselines/``
+is the regression reference that :mod:`benchmarks.compare_bench` gates CI
+against.
+
+Wall times are not portable across machines, so each run also times a
+fixed single-core calibration workload (a GBR fit on synthetic data) and
+reports ``normalized_wall = wall / calibration``.  The CI gate compares
+*normalized* serial walls, which cancels raw CPU speed; the measured
+multi-worker speedup is recorded for information (it depends on the
+runner's core count and is not gated).
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.perf_harness --fast \
+        --bench fig09 --workers 1,4 --out benchmarks/baselines
+
+The campaign is generated (or loaded from the disk cache) once before
+timing, and the per-dataset feature caches are cleared before every timed
+run so each worker-count configuration is measured cold-for-cold.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.campaign.runner import run_campaign
+from repro.experiments import run_experiment
+from repro.experiments.context import experiment_config
+from repro.features import clear_feature_caches
+from repro.parallel import shutdown_pool
+
+#: Drivers worth gating: the RFE sweep (fig09), both ablation grids
+#: (fig08/fig10), and the per-dataset MI table (table03).
+BENCHES = ["fig09", "fig08", "fig10", "table03"]
+
+
+def calibrate() -> float:
+    """Seconds for a fixed single-core GBR workload (machine speed unit)."""
+    from repro.ml.gbr import GradientBoostedRegressor
+
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(2000, 12))
+    y = x[:, 0] - 2.0 * x[:, 5] + rng.normal(scale=0.1, size=2000)
+    t0 = time.perf_counter()
+    GradientBoostedRegressor(n_estimators=40, max_depth=3).fit(x, y)
+    return time.perf_counter() - t0
+
+
+def timed_run(name: str, campaign, fast: bool, workers: int) -> float:
+    """One cold timed driver run at a fixed worker count."""
+    clear_feature_caches()
+    shutdown_pool()  # pool spin-up cost is part of the configuration
+    os.environ["REPRO_WORKERS"] = str(workers)
+    try:
+        t0 = time.perf_counter()
+        run_experiment(name, campaign=campaign, fast=fast)
+        return time.perf_counter() - t0
+    finally:
+        os.environ.pop("REPRO_WORKERS", None)
+
+
+def bench_one(
+    name: str, campaign, fast: bool, worker_counts: list[int], fingerprint: str
+) -> dict:
+    calibration = calibrate()
+    runs = []
+    for workers in worker_counts:
+        wall = timed_run(name, campaign, fast, workers)
+        runs.append(
+            {
+                "workers": workers,
+                "wall_s": round(wall, 4),
+                "normalized_wall": round(wall / calibration, 4),
+            }
+        )
+        print(f"  {name} workers={workers}: {wall:.2f}s "
+              f"({wall / calibration:.1f}x calibration)")
+    serial = next((r for r in runs if r["workers"] == 1), runs[0])
+    fastest = min(runs, key=lambda r: r["wall_s"])
+    return {
+        "name": name,
+        "mode": "fast" if fast else "full",
+        "dataset_fingerprint": fingerprint,
+        "cpu_count": os.cpu_count(),
+        "calibration_s": round(calibration, 4),
+        "runs": runs,
+        "serial_normalized_wall": serial["normalized_wall"],
+        "best_speedup_vs_serial": round(
+            serial["wall_s"] / fastest["wall_s"], 3
+        ),
+        "best_speedup_workers": fastest["workers"],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.split("\n", 1)[0])
+    ap.add_argument("--bench", action="append", choices=BENCHES,
+                    help="driver(s) to time (default: all)")
+    ap.add_argument("--workers", default="1,4",
+                    help="comma-separated worker counts to sweep")
+    ap.add_argument("--fast", action="store_true",
+                    help="test-scale campaign (the CI smoke configuration)")
+    ap.add_argument("--out", default="benchmarks",
+                    help="directory for BENCH_<name>.json files")
+    args = ap.parse_args(argv)
+
+    worker_counts = [int(w) for w in args.workers.split(",")]
+    benches = args.bench or BENCHES
+    out_dir = Path(args.out)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    cfg = experiment_config(args.fast)
+    fingerprint = cfg.fingerprint()
+    print(f"campaign {fingerprint} (mode={'fast' if args.fast else 'full'}, "
+          f"cpu_count={os.cpu_count()})")
+    campaign = run_campaign(cfg, progress=True)
+
+    for name in benches:
+        # Warm pass: campaign-independent one-time costs (imports, disk
+        # cache materialisation) land here, not in the timed runs.
+        timed_run(name, campaign, args.fast, workers=1)
+        result = bench_one(name, campaign, args.fast, worker_counts, fingerprint)
+        path = out_dir / f"BENCH_{name}.json"
+        path.write_text(json.dumps(result, indent=2) + "\n")
+        print(f"  wrote {path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,6 +26,7 @@ from repro.ml.attention import AttentionForecaster, permutation_importance
 from repro.ml.metrics import mape
 from repro.ml.model_selection import GroupKFold
 from repro.obs import span
+from repro.parallel import effective_workers, parallel_map
 
 __all__ = [
     "TIERS",
@@ -58,6 +59,46 @@ class ForecastResult:
     per_fold: list[float] = field(default_factory=list)
 
 
+def _score_windows(
+    key: str,
+    m: int,
+    k: int,
+    tier_name: str,
+    x: np.ndarray,
+    y: np.ndarray,
+    groups: np.ndarray,
+    n_splits: int,
+    seed: int,
+    model_factory,
+) -> ForecastResult:
+    """Score one (m, k, tier) cell's window tensors under grouped CV.
+
+    Top-level so the ablation grid can ship cells to pool workers; the
+    window tensors are built in the parent (they come from the dataset's
+    memoized FeatureStore) and travel with the task, so a cell's result
+    is a pure function of its arguments.
+    """
+    with span(
+        "analysis.forecast", dataset=key, m=m, k=k, tier=tier_name,
+        splits=n_splits,
+    ):
+        gkf = GroupKFold(n_splits=n_splits, seed=seed)
+        per_fold = []
+        for fold, (train, test) in enumerate(gkf.split(groups)):
+            with span("analysis.forecast.fold", fold=fold):
+                model = model_factory(seed + fold)
+                model.fit(x[train], y[train])
+                per_fold.append(mape(y[test], model.predict(x[test])))
+    return ForecastResult(
+        key=key,
+        m=m,
+        k=k,
+        tier=tier_name,
+        mape=float(np.mean(per_fold)),
+        per_fold=per_fold,
+    )
+
+
 def forecast_mape(
     ds: RunDataset,
     m: int,
@@ -70,25 +111,9 @@ def forecast_mape(
 ) -> ForecastResult:
     """Grouped-CV MAPE of the forecaster on one (m, k, tier) cell."""
     spec = FeatureSpec.resolve(tier)
-    with span(
-        "analysis.forecast", dataset=ds.key, m=m, k=k, tier=spec.name,
-        splits=n_splits,
-    ):
-        x, y, groups = get_store(ds).windows(spec, m, k, align_m=align_m)
-        gkf = GroupKFold(n_splits=n_splits, seed=seed)
-        per_fold = []
-        for fold, (train, test) in enumerate(gkf.split(groups)):
-            with span("analysis.forecast.fold", fold=fold):
-                model = model_factory(seed + fold)
-                model.fit(x[train], y[train])
-                per_fold.append(mape(y[test], model.predict(x[test])))
-    return ForecastResult(
-        key=ds.key,
-        m=m,
-        k=k,
-        tier=spec.name,
-        mape=float(np.mean(per_fold)),
-        per_fold=per_fold,
+    x, y, groups = get_store(ds).windows(spec, m, k, align_m=align_m)
+    return _score_windows(
+        ds.key, m, k, spec.name, x, y, groups, n_splits, seed, model_factory
     )
 
 
@@ -100,31 +125,40 @@ def ablation_grid(
     n_splits: int = 3,
     seed: int = 0,
     model_factory=default_forecaster,
+    workers: int | None = None,
 ) -> list[ForecastResult]:
     """The full Fig. 8 / Fig. 10 grid for one dataset.
 
     Context lengths are aligned (``align_m = max(ms)``) so every cell
     predicts the same instants from the same number of samples.
+
+    The (m, k, tier) cells are independent and fan out over
+    :mod:`repro.parallel` when ``workers`` (or ``REPRO_WORKERS``) asks
+    for it.  Window tensors are built here in the parent — sequentially,
+    against the dataset's memoized FeatureStore — and each cell seeds its
+    models from the cell coordinates alone, so results are bit-identical
+    for any worker count and arrive in grid order.  ``model_factory``
+    must be picklable (a module-level callable) when ``workers > 1``.
     """
-    out = []
     align = max(ms)
     specs = [FeatureSpec.resolve(t) for t in tiers]
+    store = get_store(ds)
+    tasks = []
     for k in ks:
         for m in ms:
             for spec in specs:
-                out.append(
-                    forecast_mape(
-                        ds,
-                        m,
-                        k,
-                        spec,
-                        n_splits=n_splits,
-                        seed=seed,
-                        model_factory=model_factory,
-                        align_m=align,
-                    )
+                x, y, groups = store.windows(spec, m, k, align_m=align)
+                tasks.append(
+                    (ds.key, m, k, spec.name, x, y, groups, n_splits, seed,
+                     model_factory)
                 )
-    return out
+    with span(
+        "analysis.ablation_grid",
+        dataset=ds.key,
+        cells=len(tasks),
+        workers=effective_workers(workers),
+    ):
+        return parallel_map(_score_windows, tasks, workers=workers)
 
 
 def forecasting_feature_importances(

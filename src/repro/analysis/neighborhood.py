@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.campaign.datasets import Campaign, RunDataset
 from repro.ml.mi import columnwise_mi
+from repro.parallel import parallel_map
 
 
 @dataclass
@@ -93,12 +94,22 @@ def analyze_neighborhood(ds: RunDataset, tau: float = 1.0) -> NeighborhoodAnalys
     )
 
 
+def _dataset_top_users(
+    ds: RunDataset, top_k: int, tau: float
+) -> list[str]:
+    """One dataset's high-MI user list (top-level: pool task)."""
+    if len(ds) < 3:
+        return []
+    return analyze_neighborhood(ds, tau=tau).top_users(top_k)
+
+
 def correlated_users_table(
     campaign: Campaign,
     dataset_keys: list[str] | None = None,
     top_k: int = 9,
     min_lists: int = 2,
     tau: float = 1.0,
+    workers: int | None = None,
 ) -> dict[str, list[str]]:
     """The paper's Table III: per dataset, high-MI users appearing in more
     than one dataset's list.
@@ -114,17 +125,16 @@ def correlated_users_table(
         (the paper's lists have 3–9 entries).
     min_lists:
         Keep users appearing in at least this many datasets' lists.
+    workers:
+        Datasets are independent tasks fanned out over
+        :mod:`repro.parallel`; results come back in key order, so the
+        table is identical for any worker count.
     """
     if dataset_keys is None:
         dataset_keys = [k for k in campaign.keys() if "-long" not in k]
-    per_dataset: dict[str, list[str]] = {}
-    for key in dataset_keys:
-        ds = campaign[key]
-        if len(ds) < 3:
-            per_dataset[key] = []
-            continue
-        analysis = analyze_neighborhood(ds, tau=tau)
-        per_dataset[key] = analysis.top_users(top_k)
+    tasks = [(campaign[key], top_k, tau) for key in dataset_keys]
+    lists = parallel_map(_dataset_top_users, tasks, workers=workers)
+    per_dataset: dict[str, list[str]] = dict(zip(dataset_keys, lists))
     counts: dict[str, int] = {}
     for users in per_dataset.values():
         for u in users:

@@ -32,8 +32,6 @@ from __future__ import annotations
 
 import os
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 
 import numpy as np
@@ -42,13 +40,19 @@ from repro.config import rng_for
 from repro.network.engine import BaseLoad, CongestionEngine, NetworkState
 from repro.network.counters import synthesize_router_counters
 from repro.network.ldms import LDMSSampler
-from repro.obs import current_span_id, remote_parent, span
-from repro.obs.log import configure_worker_logging
-from repro.obs.trace import attach_worker
+from repro.obs import span
+from repro.parallel import WorkerPool, WorkerPoolError, chunked
 from repro.system.users import UserPopulation
 from repro.telemetry.ariesncl import AriesNCL
 from repro.telemetry.mpip import profile_run
 from repro.topology.dragonfly import DragonflyTopology
+
+__all__ = [
+    "CampaignPool",
+    "CampaignWorkerError",
+    "WorkerEnv",
+    "chunked",  # re-exported from repro.parallel (the generalized layer)
+]
 
 #: Env hook for the worker-crash regression test: when set, solve tasks
 #: running in a *subprocess* worker die hard (``os._exit``), which must
@@ -60,7 +64,7 @@ _CRASH_ENV = "REPRO_TEST_WORKER_CRASH"
 _CTX_CACHE_CAP = 12
 
 
-class CampaignWorkerError(RuntimeError):
+class CampaignWorkerError(WorkerPoolError):
     """A campaign worker process died or the pool broke."""
 
 
@@ -173,14 +177,11 @@ _CTX_CACHE: "OrderedDict[int, object]" = OrderedDict()
 def _init_worker(config) -> None:
     """Pool initializer: build the solving environment in the subprocess.
 
-    Also mirrors the parent's observability: log records gain a
-    ``[w<pid>]`` tag when the parent configured logging, and spans append
-    to the parent's trace file (``REPRO_TRACE_FILE``, exported by
-    ``repro.obs.trace.start_run``).
+    Runs after :mod:`repro.parallel`'s worker bootstrap, which already
+    mirrored the parent's observability (``[w<pid>]`` log tag, trace
+    sink attach) and set the nested-parallelism guard.
     """
     global _ENV
-    configure_worker_logging()
-    attach_worker()
     with span("campaign.worker_init"):
         _ENV = WorkerEnv(config, in_subprocess=True)
     _CTX_CACHE.clear()
@@ -405,30 +406,18 @@ def _solve_one_run(
     )
 
 
-def _remote_call(parent_span_id: "str | None", fn, *args):
-    """Run one task with the submitting span adopted as ambient parent,
-    so worker-side spans graft onto the parent process's span tree."""
-    with remote_parent(parent_span_id):
-        return fn(*args)
-
-
 # --------------------------------------------------------------------------- #
 # The pool.
 # --------------------------------------------------------------------------- #
 
 
-class _DoneFuture:
-    """Future-alike for the in-process serial mode."""
-
-    def __init__(self, value) -> None:
-        self._value = value
-
-    def result(self):
-        return self._value
-
-
 class CampaignPool:
     """Executes campaign tasks on ``workers`` processes.
+
+    A thin campaign-specific veneer over :class:`repro.parallel
+    .WorkerPool`: it owns the worker-environment initializer and the
+    typed ``submit_*`` surface; pool mechanics (span re-rooting, ordered
+    futures, worker-death translation) live in the generic layer.
 
     ``workers == 1`` runs every task in-process through the *same* task
     functions (no executor), which is both the fast path for small
@@ -436,68 +425,40 @@ class CampaignPool:
     """
 
     def __init__(self, config, workers: int, env: WorkerEnv | None = None):
-        self.workers = max(1, int(workers))
-        self.parallel = self.workers > 1
-        self._exec: ProcessPoolExecutor | None = None
-        if self.parallel:
-            self._exec = ProcessPoolExecutor(
-                max_workers=self.workers,
-                initializer=_init_worker,
-                initargs=(config,),
-            )
-        else:
+        self._pool = WorkerPool(
+            max(1, int(workers)),
+            initializer=_init_worker,
+            initargs=(config,),
+            error=CampaignWorkerError,
+            name="campaign",
+        )
+        self.workers = self._pool.workers
+        self.parallel = self._pool.parallel
+        if not self.parallel:
             _set_local_env(env or WorkerEnv(config))
 
     # -- submission ----------------------------------------------------- #
 
-    def _submit(self, fn, *args):
-        if not self.parallel:
-            # In-process: the ambient span context is already correct.
-            return _DoneFuture(fn(*args))
-        try:
-            return self._exec.submit(_remote_call, current_span_id(), fn, *args)
-        except BrokenProcessPool as exc:  # pragma: no cover - rare
-            raise CampaignWorkerError(
-                "campaign worker pool broke during submission"
-            ) from exc
-
     def submit_probe_contributions(self, specs: list[ProbeSpec]):
-        return self._submit(_task_probe_contributions, specs)
+        return self._pool.submit(_task_probe_contributions, specs)
 
     def submit_bg_contributions(self, specs: list[BgJobSpec]):
-        return self._submit(_task_bg_contributions, specs)
+        return self._pool.submit(_task_bg_contributions, specs)
 
     def submit_solve(self, tasks: list[RunTask], windows: dict):
-        return self._submit(_task_solve_runs, tasks, windows)
+        return self._pool.submit(_task_solve_runs, tasks, windows)
 
-    @staticmethod
-    def result(future):
+    def result(self, future):
         """Unwrap a future, translating worker death into a clean error."""
-        try:
-            return future.result()
-        except BrokenProcessPool as exc:
-            raise CampaignWorkerError(
-                "a campaign worker process died; partial campaign discarded "
-                "(rerun with workers=1 to rule out resource exhaustion)"
-            ) from exc
+        return self._pool.result(future)
 
     # -- lifecycle ------------------------------------------------------ #
 
     def shutdown(self) -> None:
-        if self._exec is not None:
-            self._exec.shutdown(wait=False, cancel_futures=True)
-            self._exec = None
+        self._pool.shutdown()
 
     def __enter__(self) -> "CampaignPool":
         return self
 
     def __exit__(self, *exc) -> None:
         self.shutdown()
-
-
-def chunked(items: list, n_chunks: int) -> list[list]:
-    """Split ``items`` into at most ``n_chunks`` contiguous chunks."""
-    if not items:
-        return []
-    size = max(1, -(-len(items) // max(1, n_chunks)))
-    return [items[i : i + size] for i in range(0, len(items), size)]

@@ -35,7 +35,15 @@ def forecast_grid(
     ks: list[int],
     tiers: list[str],
     fast: bool,
+    workers: int | None = None,
 ) -> tuple[dict, str]:
+    """Run the per-dataset ablation grids and format the report blocks.
+
+    Each dataset's (m, k, tier) cells fan out over :mod:`repro.parallel`
+    (``workers=`` / ``REPRO_WORKERS``); window tensors are built in this
+    process against the shared FeatureStore, and the grids come back in
+    cell order — bit-identical for any worker count.
+    """
     factory = fast_forecaster if fast else bench_forecaster
     # Two grouped folds keep the full 2x2xTiers grids tractable; the
     # within-cell fold spread is reported in each ForecastResult.
@@ -54,7 +62,13 @@ def forecast_grid(
         if not ms_ok or not ks_ok:
             continue
         results = ablation_grid(
-            ds, ms_ok, ks_ok, tier_specs, n_splits=n_splits, model_factory=factory
+            ds,
+            ms_ok,
+            ks_ok,
+            tier_specs,
+            n_splits=n_splits,
+            model_factory=factory,
+            workers=workers,
         )
         data[key] = results
         rows = []

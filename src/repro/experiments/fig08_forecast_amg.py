@@ -9,6 +9,9 @@ Shape targets: longer temporal context (m=8) lowers MAPE; larger horizon
 
 Window tensors come from each dataset's FeatureStore (via
 `repro.analysis.forecasting`), shared with Fig. 11's importance panels.
+Grid cells fan out over `repro.parallel` when `REPRO_WORKERS` (or the
+`workers=` knob on `forecast_grid`) asks for it — results are
+bit-identical for any worker count.
 """
 
 from __future__ import annotations

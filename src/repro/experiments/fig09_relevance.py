@@ -10,31 +10,44 @@ Shape targets (paper §V-B):
 
 The flattened mean-centered sample matrices come from each dataset's
 FeatureStore, so reruns and benchmarks share one construction.
+
+Datasets are independent, so the driver fans them out over
+:mod:`repro.parallel` (``REPRO_WORKERS`` / ``workers=``); inside a pool
+worker the nested RFE fold fan-out degrades to serial automatically, so
+there is exactly one level of processes.  Results reduce in dataset
+order — output is bit-identical for any worker count.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis.deviation import deviation_analysis
+from repro.analysis.deviation import DeviationAnalysis, deviation_analysis
 from repro.apps.registry import DATASET_KEYS
 from repro.experiments.context import get_campaign
 from repro.experiments.report import ExperimentResult, ascii_heatmap, ascii_table
 from repro.network.counters import APP_COUNTERS
+from repro.parallel import parallel_map
 
 
-def run(campaign=None, fast: bool = False) -> ExperimentResult:
+def _dataset_relevance(ds, n_splits: int, max_samples: int) -> DeviationAnalysis:
+    """One dataset's RFE sweep (top-level: pool task)."""
+    return deviation_analysis(ds, n_splits=n_splits, max_samples=max_samples)
+
+
+def run(campaign=None, fast: bool = False, workers: int | None = None) -> ExperimentResult:
     camp = get_campaign(campaign, fast)
     keys = [k for k in DATASET_KEYS if k in camp.keys() and len(camp[k]) >= 4]
     n_splits = 4 if fast else 10
     max_samples = 600 if fast else 2500
+    tasks = [
+        (camp[key], min(n_splits, len(camp[key])), max_samples) for key in keys
+    ]
+    analyses = parallel_map(_dataset_relevance, tasks, workers=workers)
     matrix = []
     mape_rows = []
     results = {}
-    for key in keys:
-        res = deviation_analysis(
-            camp[key], n_splits=min(n_splits, len(camp[key])), max_samples=max_samples
-        )
+    for key, res in zip(keys, analyses):
         results[key] = res
         matrix.append(res.relevance.scores)
         mape_rows.append([key, f"{res.prediction_mape:.2f}%", ", ".join(res.top_counters(3))])

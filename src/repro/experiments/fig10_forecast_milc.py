@@ -6,7 +6,10 @@ io and then sys features successively improves MILC's forecasts
 
 Window tensors come from each dataset's FeatureStore; the
 (m=30, k=40, all-features) cell is the same tensor Fig. 11 and Fig. 12
-consume, so a combined fig10-fig12 run builds it once.
+consume, so a combined fig10-fig12 run builds it once.  Grid cells fan
+out over `repro.parallel` when `REPRO_WORKERS` (or the `workers=` knob
+on `forecast_grid`) asks for it — results are bit-identical for any
+worker count.
 """
 
 from __future__ import annotations

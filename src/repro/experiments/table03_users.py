@@ -1,7 +1,9 @@
 """Table III: users highly correlated with (non-)optimality per dataset.
 
 The reproduction additionally scores itself against the campaign's
-ground-truth aggressors (which the analysis never sees).
+ground-truth aggressors (which the analysis never sees).  The per-dataset
+MI rankings fan out over `repro.parallel` (`REPRO_WORKERS`) and reduce in
+key order, so the table is identical for any worker count.
 """
 
 from __future__ import annotations

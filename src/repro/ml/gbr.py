@@ -52,10 +52,27 @@ class GradientBoostedRegressor:
         y = np.asarray(y, dtype=np.float64).ravel()
         if x.ndim != 2 or len(x) != len(y):
             raise ValueError("x must be (n, h) and y length-n")
-        n, h = x.shape
+        binner = Binner(self.n_bins).fit(x)
+        return self.fit_binned(binner.transform(x), y, binner)
+
+    def fit_binned(
+        self, binned: np.ndarray, y: np.ndarray, binner: Binner
+    ) -> "GradientBoostedRegressor":
+        """Fit on pre-binned uint8 codes (the RFE nested-refit fast path).
+
+        ``binner`` must be the fitted binner that produced ``binned``
+        (or a :meth:`Binner.subset` of one, with ``binned`` column-
+        sliced to match) — it is stored for :meth:`predict`.  Because
+        quantile edges are per-feature, ``fit(x[:, cols], y)`` and
+        ``fit_binned(codes[:, cols], y, binner.subset(cols))`` produce
+        bit-identical models.
+        """
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if binned.ndim != 2 or len(binned) != len(y):
+            raise ValueError("binned must be (n, h) and y length-n")
+        n, h = binned.shape
         rng = np.random.default_rng(self.random_state)
-        self.binner_ = Binner(self.n_bins).fit(x)
-        binned = self.binner_.transform(x)
+        self.binner_ = binner
 
         self.init_ = float(y.mean())
         pred = np.full(n, self.init_)
@@ -91,8 +108,11 @@ class GradientBoostedRegressor:
         if self.binner_ is None:
             raise RuntimeError("model is not fitted")
         x = np.asarray(x, dtype=np.float64)
-        binned = self.binner_.transform(x)
-        pred = np.full(len(x), self.init_)
+        return self.predict_binned(self.binner_.transform(x))
+
+    def predict_binned(self, binned: np.ndarray) -> np.ndarray:
+        """Predict from codes already binned with this model's binner."""
+        pred = np.full(len(binned), self.init_)
         for tree in self.trees_:
             pred += self.learning_rate * tree.predict_binned(binned)
         return pred

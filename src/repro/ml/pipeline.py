@@ -125,6 +125,44 @@ class Pipeline:
             with span("ml.estimator.predict", estimator=est_name):
                 return self.estimator.predict(x)
 
+    # -- pre-binned fast path (RFE nested refits) ----------------------- #
+
+    @property
+    def supports_binned(self) -> bool:
+        """Can this pipeline fit/predict from pre-binned codes?
+
+        Only a *stepless* pipeline can: codes are not a transformable
+        feature space, so any step would be bypassed silently.
+        """
+        return not self.steps and hasattr(self.estimator, "fit_binned")
+
+    def fit_binned(self, binned: np.ndarray, y: np.ndarray, binner) -> "Pipeline":
+        """Delegate a pre-binned fit to the estimator (stepless only).
+
+        Emits the same span/counter as :meth:`fit`, so observability
+        counts every model fit no matter which door it came through.
+        """
+        if not self.supports_binned:
+            raise RuntimeError(
+                "fit_binned requires a stepless pipeline around a "
+                "binned-capable estimator"
+            )
+        est_name = type(self.estimator).__name__
+        with span("ml.pipeline.fit", estimator=est_name, n=len(binned), binned=True):
+            self.estimator.fit_binned(binned, y, binner)
+            METRICS.counter("ml.pipeline.fits").inc()
+        return self
+
+    def predict_binned(self, binned: np.ndarray) -> np.ndarray:
+        if not self.supports_binned:
+            raise RuntimeError(
+                "predict_binned requires a stepless pipeline around a "
+                "binned-capable estimator"
+            )
+        est_name = type(self.estimator).__name__
+        with span("ml.pipeline.predict", estimator=est_name, n=len(binned), binned=True):
+            return self.estimator.predict_binned(binned)
+
     @property
     def feature_importances_(self) -> np.ndarray:
         imp = getattr(self.estimator, "feature_importances_", None)

@@ -10,6 +10,17 @@ well-performing feature across all the cross-validation splits."*
 Implementation: on each CV split, run the elimination path on the train
 fold, score every intermediate subset on the held-out fold, keep the
 best-scoring subset, and count feature membership across splits.
+
+Performance: the sweep fits O(H² · n_splits) boosted ensembles, and the
+folds are embarrassingly parallel — :func:`relevance_scores` fans them
+out over :mod:`repro.parallel` (``workers=`` / ``REPRO_WORKERS``), with
+results reduced in fold order so any worker count yields bit-identical
+``scores``/``mapes``/``chosen_subsets``.  Inside each fold, the quantile
+:class:`~repro.ml.tree.Binner` is fitted once on the train fold and the
+O(H) nested-subset refits reuse its codes by column slicing (quantile
+edges are per-feature, so sliced codes are exactly what a per-subset
+refit would bin); the k=H nested fit doubles as the full-feature MAPE
+model instead of being fitted a third time.
 """
 
 from __future__ import annotations
@@ -20,15 +31,36 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.ml.gbr import GradientBoostedRegressor
-from repro.ml.metrics import rmse
+from repro.ml.metrics import mape, rmse
 from repro.ml.model_selection import KFold
 from repro.ml.pipeline import Estimator
+from repro.ml.tree import Binner
 from repro.obs import span
+from repro.parallel import effective_workers, parallel_map
 
 
 def default_estimator() -> GradientBoostedRegressor:
     """The paper's model: gradient boosted regression trees."""
     return GradientBoostedRegressor(n_estimators=60, max_depth=3)
+
+
+def _binned_surface(est) -> "tuple[object, int] | None":
+    """(fit/predict-binned target, n_bins) when ``est`` supports the
+    pre-binned fast path, else None.
+
+    A stepless :class:`~repro.ml.pipeline.Pipeline` qualifies through
+    its passthrough (spans/counters preserved); a bare estimator
+    qualifies when it exposes the binned surface and its bin count.
+    """
+    if getattr(est, "supports_binned", False):
+        return est, est.estimator.n_bins
+    if (
+        hasattr(est, "fit_binned")
+        and hasattr(est, "predict_binned")
+        and hasattr(est, "n_bins")
+    ):
+        return est, est.n_bins
+    return None
 
 
 class RFE:
@@ -53,21 +85,47 @@ class RFE:
         #: Elimination order, worst first.
         self.elimination_order_: list[int] = []
 
-    def fit(self, x: np.ndarray, y: np.ndarray) -> "RFE":
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        *,
+        prebinned: "tuple[np.ndarray, Binner] | None" = None,
+    ) -> "RFE":
+        """Run the elimination path.
+
+        ``prebinned`` optionally carries ``(codes, binner)`` for ``x``;
+        when the factory's estimators support binned fits, each
+        iteration then refits from column-sliced codes instead of
+        re-binning the shrinking matrix (bit-identical models, since
+        quantile edges are per-feature).
+        """
         x = np.asarray(x, dtype=np.float64)
         y = np.asarray(y, dtype=np.float64).ravel()
         h = x.shape[1]
         with span("ml.rfe.fit", features=h, n=len(x)):
-            return self._fit(x, y, h)
+            return self._fit(x, y, h, prebinned)
 
-    def _fit(self, x: np.ndarray, y: np.ndarray, h: int) -> "RFE":
+    def _fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        h: int,
+        prebinned: "tuple[np.ndarray, Binner] | None" = None,
+    ) -> "RFE":
+        codes, binner = prebinned if prebinned is not None else (None, None)
         remaining = list(range(h))
         ranking = np.empty(h, dtype=np.int64)
         order: list[int] = []
         rank = h
         while len(remaining) > 1:
             est = self.estimator_factory()
-            est.fit(x[:, remaining], y)
+            surface = _binned_surface(est) if codes is not None else None
+            if surface is not None:
+                target, _ = surface
+                target.fit_binned(codes[:, remaining], y, binner.subset(remaining))
+            else:
+                est.fit(x[:, remaining], y)
             imp = est.feature_importances_
             k = min(self.step, len(remaining) - 1)
             worst_local = np.argsort(imp)[:k]
@@ -102,6 +160,71 @@ class RelevanceResult:
         return [self.feature_names[i] for i in order[:k]]
 
 
+def _fold_relevance(
+    xtr: np.ndarray,
+    ytr: np.ndarray,
+    xte: np.ndarray,
+    yte: np.ndarray,
+    off_te: "np.ndarray | None",
+    estimator_factory: Callable[[], Estimator],
+    fold: int,
+) -> tuple[list[int], float]:
+    """One CV fold: elimination path, nested-subset scoring, fold MAPE.
+
+    Top-level so it pickles into pool workers; deterministic in its
+    arguments, so the result is independent of which worker runs it.
+    """
+    with span("ml.rfe.fold", fold=fold):
+        h = xtr.shape[1]
+        # Bin the fold once; every nested refit below column-slices these
+        # codes (per-feature quantile edges make that bit-identical to
+        # re-binning the subset).  Falls back to plain fits when the
+        # factory's estimators lack the binned surface.
+        prebinned = None
+        codes_tr = codes_te = binner = None
+        surface = _binned_surface(estimator_factory())
+        if surface is not None:
+            _, n_bins = surface
+            binner = Binner(n_bins).fit(xtr)
+            codes_tr = binner.transform(xtr)
+            codes_te = binner.transform(xte)
+            prebinned = (codes_tr, binner)
+        # Elimination path on the train fold.
+        rfe = RFE(estimator_factory)
+        rfe.fit(xtr, ytr, prebinned=prebinned)
+        ranking = rfe.ranking_
+        # Score nested subsets on the held-out fold; keep the best.
+        best_err = np.inf
+        best_subset: list[int] = list(range(h))
+        full_pred: np.ndarray | None = None
+        for k in range(1, h + 1):
+            subset = [f for f in range(h) if ranking[f] <= k]
+            est = estimator_factory()
+            surface = _binned_surface(est) if prebinned is not None else None
+            if surface is not None:
+                target, _ = surface
+                target.fit_binned(codes_tr[:, subset], ytr, binner.subset(subset))
+                pred = target.predict_binned(codes_te[:, subset])
+            else:
+                est.fit(xtr[:, subset], ytr)
+                pred = est.predict(xte[:, subset])
+            err = rmse(yte, pred)
+            if err < best_err - 1e-12:
+                best_err = err
+                best_subset = subset
+            if k == h:
+                # The k=H subset is every feature in order: this fit *is*
+                # the full-feature model — reuse its predictions for the
+                # reported MAPE instead of fitting a third time.
+                full_pred = pred
+        if off_te is not None:
+            truth = yte + off_te
+            full_pred = full_pred + off_te
+        else:
+            truth = yte
+        return best_subset, float(mape(truth, full_pred))
+
+
 def relevance_scores(
     x: np.ndarray,
     y: np.ndarray,
@@ -111,6 +234,7 @@ def relevance_scores(
     seed: int = 0,
     mape_offset: np.ndarray | None = None,
     max_samples: int | None = 4000,
+    workers: int | None = None,
 ) -> RelevanceResult:
     """Cross-validated RFE relevance scores (paper §IV-B / Fig. 9).
 
@@ -130,6 +254,12 @@ def relevance_scores(
         Random subsample cap on the (NT) rows — the RFE sweep fits
         O(H^2 * n_splits) boosted ensembles, and a few thousand samples
         already pin the relevance ordering.  ``None`` disables.
+    workers:
+        CV folds are independent tasks fanned out over
+        :mod:`repro.parallel` (``REPRO_WORKERS`` overrides; ``0`` = all
+        cores; default serial).  Results reduce in fold order, so every
+        worker count yields bit-identical output.  ``estimator_factory``
+        must be picklable (a module-level function) when ``workers > 1``.
     """
     x = np.asarray(x, dtype=np.float64)
     y = np.asarray(y, dtype=np.float64).ravel()
@@ -144,46 +274,28 @@ def relevance_scores(
         if mape_offset is not None:
             mape_offset = np.asarray(mape_offset)[pick]
     h = x.shape[1]
+    kf = KFold(n_splits=n_splits, shuffle=True, seed=seed)
+    tasks = []
+    for fold, (train, test) in enumerate(kf.split(len(x))):
+        off_te = mape_offset[test] if mape_offset is not None else None
+        tasks.append(
+            (x[train], y[train], x[test], y[test], off_te, estimator_factory, fold)
+        )
+    with span(
+        "ml.rfe.relevance",
+        features=h,
+        n=len(x),
+        splits=n_splits,
+        workers=effective_workers(workers),
+    ):
+        fold_results = parallel_map(_fold_relevance, tasks, workers=workers)
     counts = np.zeros(h)
     chosen_all: list[list[int]] = []
     mapes: list[float] = []
-    kf = KFold(n_splits=n_splits, shuffle=True, seed=seed)
-    relevance_span = span(
-        "ml.rfe.relevance", features=h, n=len(x), splits=n_splits
-    )
-    with relevance_span:
-        for fold, (train, test) in enumerate(kf.split(len(x))):
-            with span("ml.rfe.fold", fold=fold):
-                # Elimination path on the train fold.
-                rfe = RFE(estimator_factory)
-                rfe.fit(x[train], y[train])
-                ranking = rfe.ranking_
-                # Score nested subsets on the held-out fold; keep the best.
-                best_err = np.inf
-                best_subset: list[int] = list(range(h))
-                for k in range(1, h + 1):
-                    subset = [f for f in range(h) if ranking[f] <= k]
-                    est = estimator_factory()
-                    est.fit(x[train][:, subset], y[train])
-                    pred = est.predict(x[test][:, subset])
-                    err = rmse(y[test], pred)
-                    if err < best_err - 1e-12:
-                        best_err = err
-                        best_subset = subset
-                counts[best_subset] += 1.0
-                chosen_all.append(best_subset)
-                # Full-model prediction MAPE on reconstructed targets.
-                est = estimator_factory()
-                est.fit(x[train], y[train])
-                pred = est.predict(x[test])
-                if mape_offset is not None:
-                    truth = y[test] + mape_offset[test]
-                    pred = pred + mape_offset[test]
-                else:
-                    truth = y[test]
-                from repro.ml.metrics import mape as _mape
-
-                mapes.append(_mape(truth, pred))
+    for best_subset, fold_mape in fold_results:
+        counts[best_subset] += 1.0
+        chosen_all.append(best_subset)
+        mapes.append(fold_mape)
     return RelevanceResult(
         feature_names=list(feature_names),
         scores=counts / n_splits,

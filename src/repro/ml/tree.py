@@ -34,10 +34,33 @@ class Binner:
         ]
         return self
 
+    #: Row-chunk size for the vectorized transform (bounds the transient
+    #: (rows, H, E) comparison tensor to a few MB).
+    _CHUNK_ROWS = 4096
+
     def transform(self, x: np.ndarray) -> np.ndarray:
         if self.edges_ is None:
             raise RuntimeError("binner is not fitted")
         x = np.asarray(x, dtype=np.float64)
+        lens = {len(e) for e in self.edges_}
+        # Fast path: when every feature kept the same number of edges
+        # (the common case — deduplication only shrinks constant-ish
+        # columns), one broadcast comparison replaces the per-feature
+        # searchsorted loop.  ``searchsorted(edges, v, 'right')`` is the
+        # count of edges <= v for sorted edges, except for NaN (which
+        # sorts last) — so NaN rows take the reference loop.
+        if len(lens) == 1 and next(iter(lens)) > 0 and not np.isnan(x).any():
+            edges = np.stack(self.edges_)  # (H, E)
+            out = np.empty(x.shape, dtype=np.uint8)
+            for lo in range(0, len(x), self._CHUNK_ROWS):
+                chunk = x[lo : lo + self._CHUNK_ROWS]
+                np.sum(
+                    chunk[:, :, None] >= edges[None, :, :],
+                    axis=2,
+                    dtype=np.uint8,
+                    out=out[lo : lo + len(chunk)],
+                )
+            return out
         out = np.empty(x.shape, dtype=np.uint8)
         for f, edges in enumerate(self.edges_):
             out[:, f] = np.searchsorted(edges, x[:, f], side="right")
@@ -45,6 +68,20 @@ class Binner:
 
     def fit_transform(self, x: np.ndarray) -> np.ndarray:
         return self.fit(x).transform(x)
+
+    def subset(self, features: "list[int] | np.ndarray") -> "Binner":
+        """A fitted binner over a column subset.
+
+        Quantile edges are computed per feature, so the binner fitted on
+        ``x[:, features]`` is exactly this binner restricted to those
+        columns — the identity the RFE sweep exploits to bin each fold
+        once and refit nested subsets by column slicing.
+        """
+        if self.edges_ is None:
+            raise RuntimeError("binner is not fitted")
+        sub = Binner(self.n_bins)
+        sub.edges_ = [self.edges_[int(f)] for f in features]
+        return sub
 
     def bin_upper_value(self, feature: int, bin_idx: int) -> float:
         """Numeric threshold equivalent of splitting after ``bin_idx``."""

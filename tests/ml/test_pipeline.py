@@ -142,3 +142,42 @@ def test_mean_target_forecaster():
     x, y = _windows()
     pred = MeanTargetForecaster().fit(x, y).predict(x[:7])
     np.testing.assert_allclose(pred, y.mean())
+
+
+# --------------------------------------------------------------------- #
+# Pre-binned passthrough
+# --------------------------------------------------------------------- #
+
+
+def test_supports_binned_only_for_stepless_binned_estimator():
+    gbr = GradientBoostedRegressor(n_estimators=5)
+    assert Pipeline([], gbr).supports_binned
+    assert not Pipeline([ScalerStep()], gbr).supports_binned
+    assert not Pipeline([], RidgeRegressor()).supports_binned
+
+
+def test_binned_passthrough_matches_plain_fit():
+    from repro.ml.tree import Binner
+
+    rng = np.random.default_rng(11)
+    x = rng.normal(size=(150, 4))
+    y = x[:, 0] + 0.1 * rng.normal(size=150)
+    plain = Pipeline([], GradientBoostedRegressor(n_estimators=8, random_state=1))
+    plain.fit(x, y)
+    binner = Binner(64).fit(x)
+    via = Pipeline([], GradientBoostedRegressor(n_estimators=8, random_state=1))
+    via.fit_binned(binner.transform(x), y, binner)
+    np.testing.assert_array_equal(
+        plain.predict(x), via.predict_binned(binner.transform(x))
+    )
+
+
+def test_binned_passthrough_rejects_stepped_pipeline():
+    rng = np.random.default_rng(12)
+    x = rng.normal(size=(30, 3))
+    y = rng.normal(size=30)
+    p = Pipeline([ScalerStep()], GradientBoostedRegressor(n_estimators=3))
+    with pytest.raises(RuntimeError, match="stepless"):
+        p.fit_binned(x.astype(np.uint8), y, None)
+    with pytest.raises(RuntimeError, match="stepless"):
+        p.predict_binned(x.astype(np.uint8))

@@ -194,3 +194,79 @@ def test_property_gbr_predictions_bounded_by_target_range(seed):
     margin = 0.5 * (y.max() - y.min() + 1e-9)
     assert pred.min() >= y.min() - margin
     assert pred.max() <= y.max() + margin
+
+
+# --------------------------------------------------------------------- #
+# Binner: vectorized transform and column subsetting
+# --------------------------------------------------------------------- #
+
+
+def _reference_transform(binner: Binner, x: np.ndarray) -> np.ndarray:
+    """The per-feature searchsorted loop the fast path must reproduce."""
+    out = np.empty(x.shape, dtype=np.uint8)
+    for f, edges in enumerate(binner.edges_):
+        out[:, f] = np.searchsorted(edges, x[:, f], side="right")
+    return out
+
+
+def test_binner_vectorized_transform_matches_reference():
+    rng = np.random.default_rng(3)
+    x = rng.normal(size=(9000, 6))  # > one chunk of rows
+    b = Binner(32).fit(x)
+    np.testing.assert_array_equal(b.transform(x), _reference_transform(b, x))
+
+
+def test_binner_transform_with_nan_takes_reference_path():
+    rng = np.random.default_rng(4)
+    x = rng.normal(size=(200, 3))
+    b = Binner(16).fit(x)
+    x[5, 1] = np.nan
+    np.testing.assert_array_equal(b.transform(x), _reference_transform(b, x))
+
+
+def test_binner_transform_uneven_edges_matches_reference():
+    # A constant column dedupes to fewer edges than its neighbours, so
+    # the stacked fast path is unavailable — the loop must still agree.
+    rng = np.random.default_rng(5)
+    x = np.column_stack([rng.normal(size=300), np.ones(300)])
+    b = Binner(16).fit(x)
+    assert len({len(e) for e in b.edges_}) > 1
+    np.testing.assert_array_equal(b.transform(x), _reference_transform(b, x))
+
+
+def test_binner_subset_equals_refit_on_columns():
+    rng = np.random.default_rng(6)
+    x = rng.normal(size=(400, 5))
+    cols = [0, 2, 4]
+    full = Binner(32).fit(x)
+    refit = Binner(32).fit(x[:, cols])
+    sub = full.subset(cols)
+    for a, b in zip(sub.edges_, refit.edges_):
+        np.testing.assert_array_equal(a, b)
+    np.testing.assert_array_equal(sub.transform(x[:, cols]), refit.transform(x[:, cols]))
+
+
+def test_binner_subset_requires_fit():
+    with pytest.raises(RuntimeError):
+        Binner(8).subset([0])
+
+
+# --------------------------------------------------------------------- #
+# GBR: pre-binned fits
+# --------------------------------------------------------------------- #
+
+
+def test_gbr_fit_binned_bit_identical_to_plain_fit(friedman):
+    xtr, ytr, xte, _ = friedman
+    cols = [1, 3, 5, 6]
+    plain = GradientBoostedRegressor(n_estimators=15, random_state=2)
+    plain.fit(xtr[:, cols], ytr)
+    binner = Binner(plain.n_bins).fit(xtr)
+    binned = GradientBoostedRegressor(n_estimators=15, random_state=2)
+    binned.fit_binned(binner.transform(xtr)[:, cols], ytr, binner.subset(cols))
+    np.testing.assert_array_equal(
+        plain.predict(xte[:, cols]), binned.predict(xte[:, cols])
+    )
+    np.testing.assert_array_equal(
+        plain.feature_importances_, binned.feature_importances_
+    )

@@ -1,0 +1,140 @@
+"""Serial vs parallel bit-identity for the rewired analysis fan-outs.
+
+The determinism contract of `repro.parallel` is that the worker count can
+never perturb any result: tasks are pure functions of their arguments and
+gather in submission order.  These tests pin that contract on the real
+consumers — the RFE fold fan-out and the forecasting ablation grid — and
+on the KFold split streams they build their tasks from.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.forecasting import ablation_grid
+from repro.ml.attention import AttentionForecaster
+from repro.ml.gbr import GradientBoostedRegressor
+from repro.ml.model_selection import KFold
+from repro.ml.rfe import relevance_scores
+
+
+def _fast_gbr() -> GradientBoostedRegressor:
+    return GradientBoostedRegressor(n_estimators=10, max_depth=2)
+
+
+class _NoBinned:
+    """Same numerics as GBR, but hides the pre-binned surface — forces
+    the plain-fit fallback the fast path must match bit-for-bit."""
+
+    def __init__(self) -> None:
+        self._g = _fast_gbr()
+
+    def fit(self, x, y):
+        self._g.fit(x, y)
+        return self
+
+    def predict(self, x):
+        return self._g.predict(x)
+
+    @property
+    def feature_importances_(self):
+        return self._g.feature_importances_
+
+
+def _tiny_forecaster(seed: int = 0) -> AttentionForecaster:
+    return AttentionForecaster(
+        d_model=8, hidden=12, epochs=10, batch_size=64, seed=seed
+    )
+
+
+@pytest.fixture(autouse=True)
+def _no_env_workers(monkeypatch):
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+
+
+@pytest.fixture(scope="module")
+def xy():
+    rng = np.random.default_rng(7)
+    x = rng.normal(size=(220, 6))
+    y = 2.0 * x[:, 0] - x[:, 3] + rng.normal(scale=0.1, size=220) + 15.0
+    return x, y
+
+
+def _relevance(x, y, workers):
+    return relevance_scores(
+        x,
+        y,
+        [f"f{i}" for i in range(x.shape[1])],
+        estimator_factory=_fast_gbr,
+        n_splits=4,
+        workers=workers,
+    )
+
+
+@pytest.mark.parametrize("workers", [0, 4])
+def test_relevance_scores_worker_count_invariant(xy, workers):
+    x, y = xy
+    ref = _relevance(x, y, 1)
+    par = _relevance(x, y, workers)
+    assert np.array_equal(ref.scores, par.scores)
+    assert ref.prediction_mape == par.prediction_mape
+    assert ref.chosen_subsets == par.chosen_subsets
+
+
+def test_relevance_scores_env_override(xy, monkeypatch):
+    x, y = xy
+    ref = _relevance(x, y, 1)
+    monkeypatch.setenv("REPRO_WORKERS", "2")
+    par = _relevance(x, y, 1)  # env wins over the argument
+    assert np.array_equal(ref.scores, par.scores)
+    assert ref.prediction_mape == par.prediction_mape
+
+
+def test_binned_fast_path_matches_plain_fits(xy):
+    # GBR takes the bin-once / column-slice path; _NoBinned re-bins every
+    # subset fit.  Per-feature quantile edges make them bit-identical.
+    x, y = xy
+    fast = _relevance(x, y, 1)
+    plain = relevance_scores(
+        x,
+        y,
+        [f"f{i}" for i in range(x.shape[1])],
+        estimator_factory=_NoBinned,
+        n_splits=4,
+        workers=1,
+    )
+    assert np.array_equal(fast.scores, plain.scores)
+    assert fast.prediction_mape == plain.prediction_mape
+    assert fast.chosen_subsets == plain.chosen_subsets
+
+
+def test_ablation_grid_worker_count_invariant(tiny_campaign):
+    key = next(k for k in tiny_campaign.keys() if "-long" not in k)
+    ds = tiny_campaign[key]
+
+    def grid(workers):
+        return ablation_grid(
+            ds,
+            ms=[2, 3],
+            ks=[2],
+            tiers=["app"],
+            n_splits=2,
+            model_factory=_tiny_forecaster,
+            workers=workers,
+        )
+
+    ref = grid(1)
+    par = grid(3)
+    assert [(r.key, r.m, r.k, r.tier) for r in ref] == [
+        (r.key, r.m, r.k, r.tier) for r in par
+    ]
+    assert [r.per_fold for r in ref] == [r.per_fold for r in par]
+
+
+def test_kfold_split_determinism():
+    a = [(tr.tolist(), te.tolist()) for tr, te in KFold(5, seed=3).split(97)]
+    b = [(tr.tolist(), te.tolist()) for tr, te in KFold(5, seed=3).split(97)]
+    assert a == b
+    c = [(tr.tolist(), te.tolist()) for tr, te in KFold(5, seed=4).split(97)]
+    assert a != c

@@ -1,0 +1,129 @@
+"""The generic worker-pool layer: ordering, guards, lifecycle, seeds."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.parallel import (
+    WORKER_ENV,
+    WorkerPool,
+    WorkerPoolError,
+    chunked,
+    effective_workers,
+    get_pool,
+    in_worker,
+    parallel_map,
+    shutdown_pool,
+    task_seed,
+)
+
+
+def _square(v: int) -> int:
+    return v * v
+
+
+def _pid(_: int) -> int:
+    return os.getpid()
+
+
+def _worker_state(_: int) -> tuple[bool, int]:
+    return in_worker(), effective_workers(8)
+
+
+def _boom(v: int) -> int:
+    raise ValueError(f"task {v} exploded")
+
+
+def _die(_: int) -> None:
+    os._exit(17)
+
+
+@pytest.fixture(autouse=True)
+def _no_env_workers(monkeypatch):
+    monkeypatch.delenv("REPRO_WORKERS", raising=False)
+    monkeypatch.delenv(WORKER_ENV, raising=False)
+
+
+def test_map_is_ordered_and_worker_count_invariant():
+    tasks = [(v,) for v in range(20)]
+    serial = parallel_map(_square, tasks, workers=1)
+    assert serial == [v * v for v in range(20)]
+    with WorkerPool(3) as pool:
+        assert pool.map(_square, tasks) == serial
+
+
+def test_serial_mode_runs_in_process():
+    with WorkerPool(1) as pool:
+        assert not pool.parallel
+        assert pool.map(_pid, [(0,)]) == [os.getpid()]
+
+
+def test_parallel_mode_forks():
+    with WorkerPool(2) as pool:
+        assert pool.parallel
+        pids = pool.map(_pid, [(i,) for i in range(6)])
+    assert all(p != os.getpid() for p in pids)
+
+
+def test_nested_parallelism_guard():
+    # Inside a pool worker, effective_workers() clamps to 1 regardless of
+    # the requested count, so fan-out points nested in tasks go serial.
+    with WorkerPool(2) as pool:
+        states = pool.map(_worker_state, [(0,)])
+    assert states == [(True, 1)]
+    # The parent is not a worker and resolves normally.
+    assert not in_worker()
+    assert effective_workers(3) == 3
+
+
+def test_env_var_wins(monkeypatch):
+    monkeypatch.setenv("REPRO_WORKERS", "5")
+    assert effective_workers(2) == 5
+    monkeypatch.setenv("REPRO_WORKERS", "1")
+    pool = WorkerPool(4)
+    assert not pool.parallel
+
+
+def test_task_exceptions_propagate_in_both_modes():
+    with pytest.raises(ValueError, match="task 3 exploded"):
+        parallel_map(_boom, [(3,)], workers=1)
+    with WorkerPool(2) as pool:
+        with pytest.raises(ValueError, match="task 3 exploded"):
+            pool.map(_boom, [(3,)])
+
+
+def test_worker_death_raises_pool_error():
+    with WorkerPool(2) as pool:
+        with pytest.raises(WorkerPoolError):
+            pool.map(_die, [(i,) for i in range(4)])
+        assert pool.broken
+
+
+def test_shared_pool_reuse_and_recreate():
+    shutdown_pool()
+    try:
+        serial = get_pool(1)
+        assert not serial.parallel
+        p2 = get_pool(2)
+        assert p2 is get_pool(2)  # stable count -> same pool
+        p3 = get_pool(3)
+        assert p3 is not p2  # count change -> replaced
+        assert p3.workers == 3
+    finally:
+        shutdown_pool()
+
+
+def test_task_seed_is_stable_and_label_sensitive():
+    assert task_seed("ds", 0) == task_seed("ds", 0)
+    assert task_seed("ds", 0) != task_seed("ds", 1)
+    assert task_seed("ds", 0) != task_seed("other", 0)
+    assert 0 <= task_seed("ds", 0) < 2**31
+
+
+def test_chunked():
+    assert chunked([], 4) == []
+    assert chunked([1, 2, 3, 4, 5], 2) == [[1, 2, 3], [4, 5]]
+    assert chunked([1, 2], 8) == [[1], [2]]
+    assert [x for c in chunked(list(range(11)), 3) for x in c] == list(range(11))
