@@ -38,14 +38,17 @@ def compare(baseline_dir: Path, current_dir: Path, tolerance: float) -> list[str
             continue
         ref = base["serial_normalized_wall"]
         got = cur["serial_normalized_wall"]
+        # Very fast scenarios (e.g. the warm cache-read pass) are noisier
+        # than minutes-long drivers; a baseline may carry its own band.
+        tol = float(base.get("tolerance", tolerance))
         ratio = got / ref if ref > 0 else float("inf")
-        verdict = "OK" if ratio <= 1 + tolerance else "REGRESSION"
+        verdict = "OK" if ratio <= 1 + tol else "REGRESSION"
         print(f"{base['name']}: normalized serial wall {ref:.2f} -> {got:.2f} "
-              f"({ratio:.2f}x, tolerance {1 + tolerance:.2f}x) {verdict}")
-        if ratio > 1 + tolerance:
+              f"({ratio:.2f}x, tolerance {1 + tol:.2f}x) {verdict}")
+        if ratio > 1 + tol:
             failures.append(
                 f"{base['name']}: {ratio:.2f}x over baseline "
-                f"(limit {1 + tolerance:.2f}x)"
+                f"(limit {1 + tol:.2f}x)"
             )
         speed = cur.get("best_speedup_vs_serial")
         if speed is not None:

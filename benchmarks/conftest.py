@@ -24,6 +24,12 @@ def pytest_configure(config):
     )
 
 
+@pytest.fixture(autouse=True)
+def _no_artifact_cache(monkeypatch):
+    """Benches time the computation, not a stage-cache read."""
+    monkeypatch.setenv("REPRO_ARTIFACT_CACHE", "0")
+
+
 @pytest.fixture(scope="session")
 def fast() -> bool:
     return fast_requested()

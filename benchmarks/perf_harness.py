@@ -28,20 +28,22 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import tempfile
 import time
 from pathlib import Path
 
 import numpy as np
 
 from repro.campaign.runner import run_campaign
-from repro.experiments import run_experiment
+from repro.experiments import PAPER_EXPERIMENTS, run_experiment, run_experiments
 from repro.experiments.context import experiment_config
 from repro.features import clear_feature_caches
 from repro.parallel import shutdown_pool
 
 #: Drivers worth gating: the RFE sweep (fig09), both ablation grids
-#: (fig08/fig10), and the per-dataset MI table (table03).
-BENCHES = ["fig09", "fig08", "fig10", "table03"]
+#: (fig08/fig10), the per-dataset MI table (table03), and the warm
+#: second `all` pass (the stage graph's near-pure cache read).
+BENCHES = ["fig09", "fig08", "fig10", "table03", "warm_all"]
 
 
 def calibrate() -> float:
@@ -61,12 +63,66 @@ def timed_run(name: str, campaign, fast: bool, workers: int) -> float:
     clear_feature_caches()
     shutdown_pool()  # pool spin-up cost is part of the configuration
     os.environ["REPRO_WORKERS"] = str(workers)
+    # Cold means cold: the stage artifact store must not serve a
+    # previous configuration's results into a timed run.
+    os.environ["REPRO_ARTIFACT_CACHE"] = "0"
     try:
         t0 = time.perf_counter()
         run_experiment(name, campaign=campaign, fast=fast)
         return time.perf_counter() - t0
     finally:
         os.environ.pop("REPRO_WORKERS", None)
+        os.environ.pop("REPRO_ARTIFACT_CACHE", None)
+
+
+def bench_warm_all(campaign, fast: bool, fingerprint: str) -> dict:
+    """Time warm `all` passes against a freshly primed artifact store.
+
+    One cold pass primes a private store (not timed), then each timed
+    pass replays every paper experiment as a pure cache read — the
+    number CI gates so stage resolution/loading never silently regresses
+    into recomputation.  Warm walls are milliseconds, so the committed
+    baseline carries a wide ``tolerance`` band.
+    """
+    calibration = calibrate()
+    runs = []
+    ids = sorted(PAPER_EXPERIMENTS)
+    with tempfile.TemporaryDirectory(prefix="repro-warmbench-") as cache_dir:
+        os.environ["REPRO_ARTIFACT_CACHE"] = "1"
+        os.environ["REPRO_CACHE_DIR"] = cache_dir
+        try:
+            run_experiments(ids, campaign=campaign, fast=fast)  # prime
+            for i in range(3):
+                t0 = time.perf_counter()
+                run_experiments(ids, campaign=campaign, fast=fast)
+                wall = time.perf_counter() - t0
+                runs.append(
+                    {
+                        "pass": i + 1,
+                        "wall_s": round(wall, 4),
+                        "normalized_wall": round(wall / calibration, 4),
+                    }
+                )
+                print(f"  warm_all pass {i + 1}: {wall:.3f}s "
+                      f"({wall / calibration:.2f}x calibration)")
+        finally:
+            os.environ.pop("REPRO_ARTIFACT_CACHE", None)
+            os.environ.pop("REPRO_CACHE_DIR", None)
+    best = min(r["normalized_wall"] for r in runs)
+    return {
+        "name": "warm_all",
+        "mode": "fast" if fast else "full",
+        "dataset_fingerprint": fingerprint,
+        "cpu_count": os.cpu_count(),
+        "calibration_s": round(calibration, 4),
+        "experiments": len(ids),
+        "runs": runs,
+        "serial_normalized_wall": best,
+        # Millisecond-scale walls jitter far more than minutes-long
+        # drivers; the regression this gates (a warm pass recomputing
+        # stages) is orders of magnitude over any plausible band.
+        "tolerance": 3.0,
+    }
 
 
 def bench_one(
@@ -126,10 +182,15 @@ def main(argv: list[str] | None = None) -> int:
     campaign = run_campaign(cfg, progress=True)
 
     for name in benches:
-        # Warm pass: campaign-independent one-time costs (imports, disk
-        # cache materialisation) land here, not in the timed runs.
-        timed_run(name, campaign, args.fast, workers=1)
-        result = bench_one(name, campaign, args.fast, worker_counts, fingerprint)
+        if name == "warm_all":
+            result = bench_warm_all(campaign, args.fast, fingerprint)
+        else:
+            # Warm pass: campaign-independent one-time costs (imports, disk
+            # cache materialisation) land here, not in the timed runs.
+            timed_run(name, campaign, args.fast, workers=1)
+            result = bench_one(
+                name, campaign, args.fast, worker_counts, fingerprint
+            )
         path = out_dir / f"BENCH_{name}.json"
         path.write_text(json.dumps(result, indent=2) + "\n")
         print(f"  wrote {path}")

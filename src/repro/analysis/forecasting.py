@@ -36,7 +36,10 @@ __all__ = [
     "default_forecaster",
     "forecast_mape",
     "ablation_grid",
+    "fit_forecaster",
+    "model_importances",
     "forecasting_feature_importances",
+    "segment_forecast",
     "long_run_forecast",
 ]
 
@@ -161,6 +164,54 @@ def ablation_grid(
         return parallel_map(_score_windows, tasks, workers=workers)
 
 
+def fit_forecaster(
+    ds: RunDataset,
+    m: int,
+    k: int,
+    tier: "str | FeatureSpec",
+    seed: int = 0,
+    model_factory=default_forecaster,
+):
+    """Train one forecaster on all of a dataset's (m, k, tier) windows.
+
+    This is the trained-model product the importance panels (Fig. 11)
+    and the long-run forecast (Fig. 12) both consume — as a graph stage
+    it is fitted once and shared.  The model holds plain numpy state, so
+    it pickles cleanly into the artifact store.
+    """
+    spec = FeatureSpec.resolve(tier)
+    with span(
+        "analysis.fit_forecaster", dataset=ds.key, m=m, k=k, tier=spec.name
+    ):
+        x, y, _ = get_store(ds).windows(spec, m, k)
+        model = model_factory(seed)
+        model.fit(x, y)
+    return model
+
+
+def model_importances(
+    model,
+    ds: RunDataset,
+    m: int,
+    k: int,
+    tier: "str | FeatureSpec",
+    seed: int = 0,
+) -> tuple[list[str], np.ndarray]:
+    """Permutation importances of a trained forecaster on its windows."""
+    spec = FeatureSpec.resolve(tier)
+    store = get_store(ds)
+    names = store.feature_names(spec)
+    with span(
+        "analysis.importances", dataset=ds.key, m=m, k=k, tier=spec.name
+    ):
+        x, y, _ = store.windows(spec, m, k)
+        imp = permutation_importance(
+            model, x, y, metric=mape, rng=np.random.default_rng(seed)
+        )
+    s = imp.sum()
+    return names, imp / s if s > 0 else imp
+
+
 def forecasting_feature_importances(
     ds: RunDataset,
     m: int,
@@ -174,20 +225,8 @@ def forecasting_feature_importances(
     Trained on all runs; importances are MAPE degradation when one feature
     channel is shuffled (normalised to sum to 1).
     """
-    spec = FeatureSpec.resolve(tier)
-    store = get_store(ds)
-    names = store.feature_names(spec)
-    with span(
-        "analysis.importances", dataset=ds.key, m=m, k=k, tier=spec.name
-    ):
-        x, y, _ = store.windows(spec, m, k)
-        model = model_factory(seed)
-        model.fit(x, y)
-        imp = permutation_importance(
-            model, x, y, metric=mape, rng=np.random.default_rng(seed)
-        )
-    s = imp.sum()
-    return names, imp / s if s > 0 else imp
+    model = fit_forecaster(ds, m, k, tier, seed=seed, model_factory=model_factory)
+    return model_importances(model, ds, m, k, tier, seed=seed)
 
 
 @dataclass
@@ -206,6 +245,40 @@ class LongRunForecast:
         return mape(self.observed, self.predicted)
 
 
+def segment_forecast(
+    model,
+    train_key: str,
+    long_run: RunRecord,
+    m: int = 30,
+    k: int = 40,
+    tier: "str | FeatureSpec" = "app+placement+io+sys",
+) -> LongRunForecast:
+    """Forecast an unseen long run in ``k``-step segments with a trained
+    model (the prediction half of :func:`long_run_forecast`)."""
+    spec = FeatureSpec.resolve(tier)
+    with span(
+        "analysis.long_run_forecast", dataset=train_key, m=m, k=k,
+        tier=spec.name,
+    ):
+        # Long-run features in the same tier layout (one-off view; the
+        # spec guarantees the same column order as the training windows).
+        holder = RunDataset(key="long", runs=[long_run])
+        lf = spec.matrix(holder)[0]  # (T, H)
+        ly = long_run.step_times
+        t = len(ly)
+        starts = np.arange(m, t - k + 1, k)
+        windows = np.stack([lf[s - m : s, :] for s in starts])
+        observed = np.array([ly[s : s + k].sum() for s in starts])
+        predicted = model.predict(windows)
+    return LongRunForecast(
+        key=train_key,
+        segment_steps=k,
+        segment_starts=starts,
+        observed=observed,
+        predicted=predicted,
+    )
+
+
 def long_run_forecast(
     train_ds: RunDataset,
     long_run: RunRecord,
@@ -222,29 +295,7 @@ def long_run_forecast(
     No data from the long run enters training (paper: "no data from this
     run was included in training the model").
     """
-    spec = FeatureSpec.resolve(tier)
-    with span(
-        "analysis.long_run_forecast", dataset=train_ds.key, m=m, k=k,
-        tier=spec.name,
-    ):
-        x, y, _ = get_store(train_ds).windows(spec, m, k)
-        model = model_factory(seed)
-        model.fit(x, y)
-
-        # Long-run features in the same tier layout (one-off view; the
-        # spec guarantees the same column order as the training windows).
-        holder = RunDataset(key="long", runs=[long_run])
-        lf = spec.matrix(holder)[0]  # (T, H)
-        ly = long_run.step_times
-        t = len(ly)
-        starts = np.arange(m, t - k + 1, k)
-        windows = np.stack([lf[s - m : s, :] for s in starts])
-        observed = np.array([ly[s : s + k].sum() for s in starts])
-        predicted = model.predict(windows)
-    return LongRunForecast(
-        key=train_ds.key,
-        segment_steps=k,
-        segment_starts=starts,
-        observed=observed,
-        predicted=predicted,
+    model = fit_forecaster(
+        train_ds, m, k, tier, seed=seed, model_factory=model_factory
     )
+    return segment_forecast(model, train_ds.key, long_run, m=m, k=k, tier=tier)

@@ -94,13 +94,30 @@ def analyze_neighborhood(ds: RunDataset, tau: float = 1.0) -> NeighborhoodAnalys
     )
 
 
-def _dataset_top_users(
-    ds: RunDataset, top_k: int, tau: float
-) -> list[str]:
-    """One dataset's high-MI user list (top-level: pool task)."""
+def dataset_top_users(ds: RunDataset, top_k: int, tau: float) -> list[str]:
+    """One dataset's high-MI user list (top-level: pool/stage task)."""
     if len(ds) < 3:
         return []
     return analyze_neighborhood(ds, tau=tau).top_users(top_k)
+
+
+#: Backwards-compatible alias (pre-DAG pool task name).
+_dataset_top_users = dataset_top_users
+
+
+def merge_user_lists(
+    per_dataset: dict[str, list[str]], min_lists: int = 2
+) -> dict[str, list[str]]:
+    """Cross-dataset filter: keep users on at least ``min_lists`` lists."""
+    counts: dict[str, int] = {}
+    for users in per_dataset.values():
+        for u in users:
+            counts[u] = counts.get(u, 0) + 1
+    keep = {u for u, c in counts.items() if c >= min_lists}
+    return {
+        key: sorted(u for u in users if u in keep)
+        for key, users in per_dataset.items()
+    }
 
 
 def correlated_users_table(
@@ -133,17 +150,9 @@ def correlated_users_table(
     if dataset_keys is None:
         dataset_keys = [k for k in campaign.keys() if "-long" not in k]
     tasks = [(campaign[key], top_k, tau) for key in dataset_keys]
-    lists = parallel_map(_dataset_top_users, tasks, workers=workers)
+    lists = parallel_map(dataset_top_users, tasks, workers=workers)
     per_dataset: dict[str, list[str]] = dict(zip(dataset_keys, lists))
-    counts: dict[str, int] = {}
-    for users in per_dataset.values():
-        for u in users:
-            counts[u] = counts.get(u, 0) + 1
-    keep = {u for u, c in counts.items() if c >= min_lists}
-    return {
-        key: sorted(u for u in users if u in keep)
-        for key, users in per_dataset.items()
-    }
+    return merge_user_lists(per_dataset, min_lists=min_lists)
 
 
 def recovery_rate(

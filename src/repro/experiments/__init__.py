@@ -1,20 +1,35 @@
 """Experiment drivers: one module per paper table/figure.
 
-Every module exposes ``run(campaign=None, fast=False) -> ExperimentResult``.
-The result carries structured data plus an ASCII rendering of the same
-rows/series the paper's artefact reports.  ``python -m repro.experiments
-<exp-id>`` runs one from the command line.
+Every module exposes ``build(g, ctx, exp_id=...) -> str`` which adds its
+stages to a shared :class:`repro.graph.Graph` and returns the name of the
+render stage producing the module's :class:`ExperimentResult`.  Stage
+outputs are memoized in an artifact store keyed by code version, config
+fingerprint, and upstream digests, so a second run is a near-pure cache
+read and experiments sharing work (trained forecasters, RFE rankings,
+MI neighborhoods) compute it once.  ``python -m repro.experiments
+<exp-id>`` runs one from the command line; ``--explain`` prints the DAG
+with per-stage hit/miss status.
 
 Experiment ids: table01, table02, table03, fig01, fig03, fig04, fig05,
 fig07, fig08, fig09, fig10, fig11, fig12 — see DESIGN.md §5 for the
-mapping to paper artefacts.
+mapping to paper artefacts.  Parameterised experiments accept an
+argument after a colon, e.g. ``fig07:MILC-512``.
 """
 
 from repro.experiments.report import ExperimentResult
 
-__all__ = ["ExperimentResult", "EXPERIMENTS", "run_experiment"]
+__all__ = [
+    "ExperimentResult",
+    "EXPERIMENTS",
+    "PAPER_EXPERIMENTS",
+    "build_experiment",
+    "explain_experiments",
+    "run_experiment",
+    "run_experiments",
+]
 
-#: Experiment id -> "module" or "module:function" (imported lazily).
+#: Experiment id -> "module" or "module:suffix" (imported lazily; the
+#: builder is ``module.build`` or ``module.build_<suffix>``).
 EXPERIMENTS: dict[str, str] = {
     "table01": "repro.experiments.table01",
     "table02": "repro.experiments.table02",
@@ -30,30 +45,116 @@ EXPERIMENTS: dict[str, str] = {
     "fig11": "repro.experiments.fig11_importances",
     "fig12": "repro.experiments.fig12_longrun",
     # Extensions beyond the paper (DESIGN.md §7).
-    "extra-comm": "repro.experiments.extras:run_comm",
-    "extra-routing": "repro.experiments.extras:run_routing",
-    "extra-whatif": "repro.experiments.extras:run_whatif",
-    "extra-sysforecast": "repro.experiments.extras:run_sysforecast",
-    "extra-placement": "repro.experiments.extras:run_placement",
-    "extra-contention": "repro.experiments.extras:run_contention",
+    "extra-comm": "repro.experiments.extras:comm",
+    "extra-routing": "repro.experiments.extras:routing",
+    "extra-whatif": "repro.experiments.extras:whatif",
+    "extra-sysforecast": "repro.experiments.extras:sysforecast",
+    "extra-placement": "repro.experiments.extras:placement",
+    "extra-contention": "repro.experiments.extras:contention",
 }
 
 #: The paper's own artefacts (excludes extensions) — what `all` runs.
 PAPER_EXPERIMENTS: list[str] = [k for k in EXPERIMENTS if not k.startswith("extra-")]
 
 
-def run_experiment(exp_id: str, campaign=None, fast: bool = False) -> ExperimentResult:
-    """Run one experiment by id."""
+def _resolve(exp_id: str):
+    """Split ``base[:arg]``, import the module, return (builder, kwargs)."""
     import importlib
 
+    base, _, arg = exp_id.partition(":")
+    if base not in EXPERIMENTS:
+        raise KeyError(
+            f"unknown experiment {base!r}; expected one of {sorted(EXPERIMENTS)}"
+        )
+    target = EXPERIMENTS[base]
+    module_name, _, suffix = target.partition(":")
+    module = importlib.import_module(module_name)
+    builder = getattr(module, f"build_{suffix}") if suffix else module.build
+    kwargs = {}
+    if arg:
+        param = getattr(module, "PARAM", None)
+        if param is None:
+            raise KeyError(f"experiment {base!r} does not take an argument")
+        kwargs[param] = arg
+    return builder, kwargs
+
+
+def build_experiment(g, ctx, exp_id: str) -> str:
+    """Add ``exp_id``'s stages to ``g``; return its render-stage name."""
+    builder, kwargs = _resolve(exp_id)
+    return builder(g, ctx, exp_id=exp_id, **kwargs)
+
+
+def _make_runner(ids, ctx, workers, force):
+    from repro.graph import Graph, GraphRunner
+
+    g = Graph()
+    targets = {exp_id: build_experiment(g, ctx, exp_id) for exp_id in ids}
+    runner = GraphRunner(
+        g,
+        store=ctx.store,
+        campaign_fingerprint=ctx.campaign_fingerprint,
+        campaign=ctx.campaign,
+        workers=workers,
+        force=force,
+    )
+    return runner, targets
+
+
+def run_experiments(
+    ids,
+    campaign=None,
+    fast: bool = False,
+    workers: int | None = None,
+    force: bool = False,
+) -> dict[str, ExperimentResult]:
+    """Run several experiments over one shared stage graph.
+
+    Stages common to multiple experiments (trained forecasters, RFE
+    rankings, campaign generation) are scheduled once.  Returns
+    ``{exp_id: ExperimentResult}`` in input order.
+    """
+    from repro.experiments.context import ExperimentContext
     from repro.obs import ensure_run, span
 
-    if exp_id not in EXPERIMENTS:
-        raise KeyError(f"unknown experiment {exp_id!r}; expected one of {sorted(EXPERIMENTS)}")
+    ids = list(ids)
     ensure_run()
-    target = EXPERIMENTS[exp_id]
-    module_name, _, attr = target.partition(":")
-    module = importlib.import_module(module_name)
-    fn = getattr(module, attr) if attr else module.run
-    with span(f"experiment.{exp_id}", fast=fast):
-        return fn(campaign=campaign, fast=fast)
+    ctx = ExperimentContext(campaign=campaign, fast=fast)
+    span_name = (
+        f"experiment.{ids[0]}" if len(ids) == 1 else "experiments.run"
+    )
+    with span(span_name, fast=ctx.fast):
+        runner, targets = _make_runner(ids, ctx, workers, force)
+        values = runner.run(list(targets.values()))
+    return {exp_id: values[name] for exp_id, name in targets.items()}
+
+
+def run_experiment(
+    exp_id: str,
+    campaign=None,
+    fast: bool = False,
+    workers: int | None = None,
+    force: bool = False,
+) -> ExperimentResult:
+    """Run one experiment by id (``base`` or ``base:arg``)."""
+    return run_experiments(
+        [exp_id], campaign=campaign, fast=fast, workers=workers, force=force
+    )[exp_id]
+
+
+def explain_experiments(
+    ids,
+    campaign=None,
+    fast: bool = False,
+    force: bool = False,
+) -> str:
+    """Render the stage DAG for ``ids`` with per-stage hit/miss status.
+
+    Never executes a stage; cached upstream state is probed read-only.
+    """
+    from repro.experiments.context import ExperimentContext
+    from repro.graph import render_plan
+
+    ctx = ExperimentContext(campaign=campaign, fast=fast)
+    runner, _ = _make_runner(list(ids), ctx, None, force)
+    return render_plan(runner.plan())

@@ -1,11 +1,24 @@
-"""CLI: ``python -m repro.experiments <exp-id> [--fast]`` or ``all``."""
+"""CLI: ``python -m repro.experiments <exp-id> [--fast]`` or ``all``.
+
+Experiments run over a shared, memoized stage graph: a repeated
+invocation reuses every stored artifact (``--force`` bypasses them) and
+``--explain`` prints the resolved DAG with per-stage hit/miss status
+instead of executing it.  Parameterised ids take an argument after a
+colon, e.g. ``fig07:MILC-512``.
+"""
 
 from __future__ import annotations
 
 import argparse
 import sys
 
-from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments import (
+    EXPERIMENTS,
+    PAPER_EXPERIMENTS,
+    explain_experiments,
+    run_experiments,
+)
+from repro.experiments.export import ExportError, export_result
 from repro.obs import configure_logging
 
 
@@ -16,13 +29,30 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all"],
-        help="experiment id (see DESIGN.md §5)",
+        help="experiment id (see DESIGN.md §5), optionally with an "
+        "argument (fig07:MILC-512), or 'all'",
     )
     parser.add_argument(
         "--fast",
         action="store_true",
-        help="use the test-scale campaign (smoke run)",
+        help="use the test-scale campaign (smoke run); also honoured "
+        "via REPRO_FAST=1",
+    )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the stage DAG with per-stage cache status; run nothing",
+    )
+    parser.add_argument(
+        "--force",
+        action="store_true",
+        help="recompute every stage, ignoring stored artifacts",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for stage execution (default: auto)",
     )
     parser.add_argument(
         "--export",
@@ -33,21 +63,36 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     configure_logging()
     if args.experiment == "all":
-        from repro.experiments import PAPER_EXPERIMENTS
-
         ids = sorted(PAPER_EXPERIMENTS)
     else:
+        base = args.experiment.partition(":")[0]
+        if base not in EXPERIMENTS:
+            parser.error(
+                f"unknown experiment {base!r}; expected one of "
+                f"{sorted(EXPERIMENTS) + ['all']}"
+            )
         ids = [args.experiment]
+    if args.explain:
+        print(explain_experiments(ids, fast=args.fast, force=args.force))
+        return 0
+    results = run_experiments(
+        ids, fast=args.fast, workers=args.workers, force=args.force
+    )
+    rc = 0
     for exp_id in ids:
-        result = run_experiment(exp_id, fast=args.fast)
+        result = results[exp_id]
         print(result.render())
         print()
         if args.export:
-            from repro.experiments.export import export_result
-
-            for path in export_result(result, args.export):
+            try:
+                written = export_result(result, args.export)
+            except ExportError as exc:
+                written = exc.written
+                print(f"error: {exc}", file=sys.stderr)
+                rc = 1
+            for path in written:
                 print(f"  wrote {path}")
-    return 0
+    return rc
 
 
 if __name__ == "__main__":

@@ -1,18 +1,19 @@
-"""Shared grid driver for the Fig. 8 / Fig. 10 forecasting ablations.
+"""Shared grid builder for the Fig. 8 / Fig. 10 forecasting ablations.
 
-Window tensors are served by each dataset's
-:class:`~repro.features.FeatureStore`, so the grids, the importance
-panels (Fig. 11), and the long-run forecast (Fig. 12) all reuse one
-construction per (tier, m, k) cell — a warm second pass rebuilds
-nothing.
+Each (dataset, m, k, tier) cell is one ``cell:...`` stage (the shared
+:func:`repro.experiments.stages.forecast_cell` body), so the two grid
+figures fan their cells out over the worker pool and memoize each cell
+in the artifact store independently — changing one tier list re-runs
+only the affected cells.  Window tensors are served by each dataset's
+:class:`~repro.features.FeatureStore` inside the stage body, exactly as
+the pre-DAG drivers built them.
 """
 
 from __future__ import annotations
 
-from repro.analysis.forecasting import ablation_grid
-from repro.campaign.datasets import Campaign
-from repro.experiments.report import ascii_table
-from repro.features import FeatureSpec
+from repro.experiments import stages
+from repro.experiments.report import ExperimentResult, ascii_table
+from repro.graph import Graph, stage_fn
 from repro.ml.attention import AttentionForecaster
 
 
@@ -28,48 +29,20 @@ def bench_forecaster(seed: int = 0) -> AttentionForecaster:
     )
 
 
-def forecast_grid(
-    camp: Campaign,
-    keys: list[str],
-    ms: list[int],
-    ks: list[int],
-    tiers: list[str],
-    fast: bool,
-    workers: int | None = None,
-) -> tuple[dict, str]:
-    """Run the per-dataset ablation grids and format the report blocks.
-
-    Each dataset's (m, k, tier) cells fan out over :mod:`repro.parallel`
-    (``workers=`` / ``REPRO_WORKERS``); window tensors are built in this
-    process against the shared FeatureStore, and the grids come back in
-    cell order — bit-identical for any worker count.
-    """
-    factory = fast_forecaster if fast else bench_forecaster
-    # Two grouped folds keep the full 2x2xTiers grids tractable; the
-    # within-cell fold spread is reported in each ForecastResult.
-    n_splits = 2
-    # Resolve tier names once; one spec object per tier serves every
-    # dataset's features, names, and windows below.
-    tier_specs = [FeatureSpec.resolve(t) for t in tiers]
+@stage_fn(version=1)
+def render_grid(ctx):
+    p = ctx.params
+    tiers = p["tiers"]
+    n_splits = p["n_splits"]
     data: dict[str, list] = {}
     blocks = []
-    for key in keys:
-        ds = camp[key]
-        # Clamp the grid to what the dataset's step count allows.
-        t = ds.num_steps
-        ms_ok = [m for m in ms if m + min(ks) < t]
-        ks_ok = [k for k in ks if min(ms_ok, default=t) + k < t] if ms_ok else []
-        if not ms_ok or not ks_ok:
-            continue
-        results = ablation_grid(
-            ds,
-            ms_ok,
-            ks_ok,
-            tier_specs,
-            n_splits=n_splits,
-            model_factory=factory,
-            workers=workers,
-        )
+    for key, ms_ok, ks_ok in p["grid"]:
+        results = [
+            ctx.inputs[f"{key}:{m}:{k}:{tier}"]
+            for k in ks_ok
+            for m in ms_ok
+            for tier in tiers
+        ]
         data[key] = results
         rows = []
         for k in ks_ok:
@@ -83,7 +56,79 @@ def forecast_grid(
             f"{key} (MAPE %, grouped {n_splits}-fold CV)\n"
             + ascii_table(["", ""] + tiers, rows)
         )
-    return data, "\n\n".join(blocks)
+    return ExperimentResult(
+        exp_id=p["exp_id"],
+        title=p["title"],
+        data={"grid": data, "summary": grid_summary(data)},
+        text="\n\n".join(blocks),
+    )
+
+
+def build_grid(
+    g: Graph,
+    ctx,
+    exp_id: str,
+    title: str,
+    keys: list[str],
+    ms: list[int],
+    ks: list[int],
+    tiers: list[str],
+) -> str:
+    """Add one figure's grid-cell stages plus its render stage.
+
+    Grids are clamped to each dataset's step count using the campaign
+    manifest, mirroring the pre-DAG driver's per-dataset clamping; cells
+    are seeded from their coordinates alone, so results are
+    bit-identical for any worker count.  Two grouped folds keep the full
+    2x2xTiers grids tractable.
+    """
+    man = ctx.manifest
+    model = stages.model_name(ctx.fast)
+    n_splits = 2
+    camp_stage = stages.add_campaign_stage(g)
+    grid_spec = []
+    inputs = []
+    for key in keys:
+        t = man["num_steps"].get(key, 0)
+        ms_ok = [m for m in ms if m + min(ks) < t]
+        ks_ok = [k for k in ks if min(ms_ok, default=t) + k < t] if ms_ok else []
+        if not ms_ok or not ks_ok:
+            continue
+        align = max(ms_ok)
+        grid_spec.append([key, ms_ok, ks_ok])
+        for k in ks_ok:
+            for m in ms_ok:
+                for tier in tiers:
+                    name = g.add(
+                        f"cell:{key}:m{m}:k{k}:a{align}:{tier}:{model}",
+                        stages.forecast_cell,
+                        params={
+                            "m": m,
+                            "k": k,
+                            "tier": tier,
+                            "align_m": align,
+                            "n_splits": n_splits,
+                            "seed": 0,
+                            "model": model,
+                        },
+                        inputs=[("manifest", camp_stage)],
+                        dataset=key,
+                    )
+                    inputs.append((f"{key}:{m}:{k}:{tier}", name))
+    return g.add(
+        f"render:{exp_id}",
+        render_grid,
+        params={
+            "exp_id": exp_id,
+            "title": title,
+            "grid": grid_spec,
+            "tiers": tiers,
+            "n_splits": n_splits,
+        },
+        inputs=inputs,
+        kind="render",
+        local=True,
+    )
 
 
 def grid_summary(data: dict) -> dict:

@@ -6,6 +6,7 @@ import numpy as np
 
 from repro.campaign.datasets import Campaign, RunDataset
 from repro.experiments.report import ascii_table
+from repro.graph import stage_fn
 
 
 def mpi_breakdown(ds: RunDataset) -> dict:
@@ -90,3 +91,45 @@ def run_breakdowns(camp: Campaign, keys: list[str]) -> tuple[dict, str]:
         data[key] = stats
         blocks.append(render_breakdown(stats))
     return data, "\n\n".join(blocks)
+
+
+@stage_fn(version=1)
+def render_mpi(ctx):
+    from repro.experiments.report import ExperimentResult
+
+    data = {}
+    blocks = []
+    for key in ctx.params["keys"]:
+        stats = ctx.inputs[key]
+        data[key] = stats
+        blocks.append(render_breakdown(stats))
+    return ExperimentResult(
+        exp_id=ctx.params["exp_id"],
+        title=ctx.params["title"],
+        data=data,
+        text="\n\n".join(blocks),
+    )
+
+
+def build_mpi(g, ctx, exp_id: str, title: str, keys: list[str]) -> str:
+    """One ``mpi:<key>`` stage per dataset plus the figure's render."""
+    from repro.experiments import stages
+
+    camp_stage = stages.add_campaign_stage(g)
+    inputs = []
+    for key in keys:
+        name = g.add(
+            f"mpi:{key}",
+            stages.mpi_stats,
+            inputs=[("manifest", camp_stage)],
+            dataset=key,
+        )
+        inputs.append((key, name))
+    return g.add(
+        f"render:{exp_id}",
+        render_mpi,
+        params={"exp_id": exp_id, "title": title, "keys": keys},
+        inputs=inputs,
+        kind="render",
+        local=True,
+    )

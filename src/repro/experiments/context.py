@@ -32,6 +32,17 @@ def fast_requested() -> bool:
     return os.environ.get("REPRO_FAST", "0") not in ("0", "", "false")
 
 
+def resolve_fast(flag: bool | None = None) -> bool:
+    """The one ``--fast`` / ``REPRO_FAST`` precedence rule.
+
+    An explicit ``fast=True`` (CLI flag or API argument) always wins;
+    otherwise the environment decides.  ``REPRO_FAST=0`` therefore does
+    *not* override an explicit request — the flag is an opt-in, the env
+    var a default.
+    """
+    return bool(flag) or fast_requested()
+
+
 def campaign_cache_size() -> int:
     """Max campaigns kept in process (``REPRO_CAMPAIGN_CACHE_SIZE``)."""
     try:
@@ -50,7 +61,7 @@ def clear_cache() -> None:
 
 
 def experiment_config(fast: bool = False) -> CampaignConfig:
-    if fast or fast_requested():
+    if resolve_fast(fast):
         return CampaignConfig.tiny()
     return CampaignConfig.small()
 
@@ -80,3 +91,54 @@ def long_run_key(campaign: Campaign) -> str | None:
         if key.startswith("MILC-128-long"):
             return key
     return None
+
+
+class ExperimentContext:
+    """Everything an experiment graph build needs, resolved once.
+
+    * the resolved fast flag (:func:`resolve_fast`);
+    * the campaign fingerprint — from the supplied campaign's stamp, or
+      from the would-be :func:`experiment_config` *without* generating
+      the campaign (so a warm run never materialises it);
+    * the artifact store rooted under the shared cache dir (disabled
+      when a supplied campaign carries no fingerprint stamp — nothing
+      sound to address artifacts by);
+    * the campaign **manifest** (keys, run counts, step counts, ground
+      truth) that graph builders shape their stage lists with — loaded
+      from the store when warm, built (and stored) otherwise;
+    * :meth:`campaign`, the lazy provider handed to the
+      :class:`~repro.graph.GraphRunner` — only an actually *executing*
+      campaign/dataset-bound stage triggers generation.
+    """
+
+    def __init__(self, campaign: Campaign | None = None, fast: bool = False) -> None:
+        from repro.graph import ArtifactStore
+
+        self.fast = resolve_fast(fast)
+        self._campaign = campaign
+        if campaign is not None:
+            fp = None
+            for ds in campaign.datasets.values():
+                fp = getattr(ds, "campaign_fingerprint", None)
+                break
+            self.campaign_fingerprint = fp
+            self.store = ArtifactStore(enabled=False if fp is None else None)
+        else:
+            self.campaign_fingerprint = experiment_config(self.fast).fingerprint()
+            self.store = ArtifactStore()
+        self._manifest: dict | None = None
+
+    def campaign(self) -> Campaign:
+        """Materialise the campaign (generate/load it if not supplied)."""
+        if self._campaign is None:
+            self._campaign = get_campaign(None, self.fast)
+        return self._campaign
+
+    @property
+    def manifest(self) -> dict:
+        """Campaign shape summary (see :func:`repro.experiments.stages.build_manifest`)."""
+        if self._manifest is None:
+            from repro.experiments import stages
+
+            self._manifest = stages.load_or_build_manifest(self)
+        return self._manifest

@@ -21,6 +21,21 @@ import numpy as np
 from repro.experiments.report import ExperimentResult
 
 
+class ExportError(OSError):
+    """One or more export files could not be written.
+
+    ``written`` lists the paths that did land; ``errors`` the
+    ``(path, exc)`` pairs that failed.
+    """
+
+    def __init__(self, exp_id: str, errors, written):
+        self.exp_id = exp_id
+        self.errors = list(errors)
+        self.written = list(written)
+        detail = "; ".join(f"{path}: {exc}" for path, exc in self.errors)
+        super().__init__(f"export failed for {exp_id}: {detail}")
+
+
 def _jsonable(obj):
     """Recursively convert numpy/dataclass payloads to JSON-safe values."""
     if isinstance(obj, np.ndarray):
@@ -45,33 +60,52 @@ def _jsonable(obj):
 def export_result(result: ExperimentResult, out_dir: Path | str) -> list[Path]:
     """Write ``<exp_id>.json`` (+ ``.csv`` when tabular, + ``.txt`` report).
 
-    Returns the written paths.
+    Returns the written paths.  Raises :class:`ExportError` when any
+    file fails, after attempting the remaining ones — partial output is
+    recorded on the exception rather than silently dropped.
     """
     out_dir = Path(out_dir)
-    out_dir.mkdir(parents=True, exist_ok=True)
+    try:
+        out_dir.mkdir(parents=True, exist_ok=True)
+    except OSError as exc:
+        raise ExportError(result.exp_id, [(out_dir, exc)], []) from exc
     written: list[Path] = []
+    errors: list[tuple[Path, OSError]] = []
 
-    jpath = out_dir / f"{result.exp_id}.json"
-    jpath.write_text(
-        json.dumps(
-            {
-                "exp_id": result.exp_id,
-                "title": result.title,
-                "data": _jsonable(result.data),
-            },
-            indent=1,
+    def _attempt(path: Path, write) -> None:
+        try:
+            write(path)
+        except OSError as exc:
+            errors.append((path, exc))
+        else:
+            written.append(path)
+
+    def _write_json(path: Path) -> None:
+        path.write_text(
+            json.dumps(
+                {
+                    "exp_id": result.exp_id,
+                    "title": result.title,
+                    "data": _jsonable(result.data),
+                },
+                indent=1,
+            )
         )
-    )
-    written.append(jpath)
 
-    tpath = out_dir / f"{result.exp_id}.txt"
-    tpath.write_text(result.render() + "\n")
-    written.append(tpath)
+    def _write_csv(path: Path) -> None:
+        with path.open("w", newline="") as fh:
+            csv.writer(fh).writerows(rows)
+
+    _attempt(out_dir / f"{result.exp_id}.json", _write_json)
+    _attempt(
+        out_dir / f"{result.exp_id}.txt",
+        lambda path: path.write_text(result.render() + "\n"),
+    )
 
     rows = result.data.get("rows")
     if isinstance(rows, list) and rows and isinstance(rows[0], (list, tuple)):
-        cpath = out_dir / f"{result.exp_id}.csv"
-        with cpath.open("w", newline="") as fh:
-            csv.writer(fh).writerows(rows)
-        written.append(cpath)
+        _attempt(out_dir / f"{result.exp_id}.csv", _write_csv)
+
+    if errors:
+        raise ExportError(result.exp_id, errors, written)
     return written

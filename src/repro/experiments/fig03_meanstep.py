@@ -3,6 +3,9 @@
 Shape targets: AMG 128 faster than 512 with similar trends; MILC's first
 20 warmup steps much faster than the next 60; miniVite ~6 long steps; UMT
 7 steps with a mild ramp.
+
+One ``mean_trends:<key>`` stage per dataset, shared with Fig. 7's
+AMG-128 panel.
 """
 
 from __future__ import annotations
@@ -10,20 +13,18 @@ from __future__ import annotations
 import numpy as np
 
 from repro.apps.registry import DATASET_KEYS
-from repro.experiments.context import get_campaign
+from repro.experiments import stages
 from repro.experiments.report import ExperimentResult, ascii_series, ascii_table
+from repro.graph import Graph, stage_fn
 
 
-def run(campaign=None, fast: bool = False) -> ExperimentResult:
-    camp = get_campaign(campaign, fast)
+@stage_fn(version=1)
+def render(ctx):
     trends: dict[str, np.ndarray] = {}
     rows = []
     blocks = []
-    for key in DATASET_KEYS:
-        ds = camp[key]
-        if len(ds) == 0:
-            continue
-        _, ym = ds.mean_trends()
+    for key in ctx.params["keys"]:
+        ym = ctx.inputs[key]["ym"]
         trends[key] = ym
         rows.append(
             [
@@ -43,8 +44,37 @@ def run(campaign=None, fast: bool = False) -> ExperimentResult:
         + "\n\n".join(blocks)
     )
     return ExperimentResult(
-        exp_id="fig03",
+        exp_id=ctx.params["exp_id"],
         title="Mean time-per-step behaviour (Fig. 3)",
         data={"trends": trends},
         text=text,
     )
+
+
+def build(g: Graph, ctx, exp_id: str = "fig03") -> str:
+    man = ctx.manifest
+    keys = [k for k in DATASET_KEYS if man["runs"].get(k, 0) > 0]
+    camp_stage = stages.add_campaign_stage(g)
+    inputs = []
+    for key in keys:
+        name = g.add(
+            f"mean_trends:{key}",
+            stages.mean_trends,
+            inputs=[("manifest", camp_stage)],
+            dataset=key,
+        )
+        inputs.append((key, name))
+    return g.add(
+        f"render:{exp_id}",
+        render,
+        params={"exp_id": exp_id, "keys": keys},
+        inputs=inputs,
+        kind="render",
+        local=True,
+    )
+
+
+def run(campaign=None, fast: bool = False) -> ExperimentResult:
+    from repro.experiments import run_experiment
+
+    return run_experiment("fig03", campaign=campaign, fast=fast)

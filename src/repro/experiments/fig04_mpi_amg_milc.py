@@ -7,17 +7,22 @@ Isend/Irecv; large best-to-worst spread in MPI time, stable compute time.
 
 from __future__ import annotations
 
-from repro.experiments._mpi_breakdown import run_breakdowns
-from repro.experiments.context import get_campaign
+from repro.experiments._mpi_breakdown import build_mpi
 from repro.experiments.report import ExperimentResult
+from repro.graph import Graph
+
+
+def build(g: Graph, ctx, exp_id: str = "fig04") -> str:
+    return build_mpi(
+        g,
+        ctx,
+        exp_id,
+        title="Compute/MPI split and routine breakdown, AMG & MILC @512 (Fig. 4)",
+        keys=["AMG-512", "MILC-512"],
+    )
 
 
 def run(campaign=None, fast: bool = False) -> ExperimentResult:
-    camp = get_campaign(campaign, fast)
-    data, text = run_breakdowns(camp, ["AMG-512", "MILC-512"])
-    return ExperimentResult(
-        exp_id="fig04",
-        title="Compute/MPI split and routine breakdown, AMG & MILC @512 (Fig. 4)",
-        data=data,
-        text=text,
-    )
+    from repro.experiments import run_experiment
+
+    return run_experiment("fig04", campaign=campaign, fast=fast)

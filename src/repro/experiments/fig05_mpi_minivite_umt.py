@@ -6,17 +6,22 @@ concentrated in Wait/Barrier/Allreduce with high worst/best spread.
 
 from __future__ import annotations
 
-from repro.experiments._mpi_breakdown import run_breakdowns
-from repro.experiments.context import get_campaign
+from repro.experiments._mpi_breakdown import build_mpi
 from repro.experiments.report import ExperimentResult
+from repro.graph import Graph
+
+
+def build(g: Graph, ctx, exp_id: str = "fig05") -> str:
+    return build_mpi(
+        g,
+        ctx,
+        exp_id,
+        title="Compute/MPI split and routine breakdown, miniVite & UMT @128 (Fig. 5)",
+        keys=["miniVite-128", "UMT-128"],
+    )
 
 
 def run(campaign=None, fast: bool = False) -> ExperimentResult:
-    camp = get_campaign(campaign, fast)
-    data, text = run_breakdowns(camp, ["miniVite-128", "UMT-128"])
-    return ExperimentResult(
-        exp_id="fig05",
-        title="Compute/MPI split and routine breakdown, miniVite & UMT @128 (Fig. 5)",
-        data=data,
-        text=text,
-    )
+    from repro.experiments import run_experiment
+
+    return run_experiment("fig05", campaign=campaign, fast=fast)

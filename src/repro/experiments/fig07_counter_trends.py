@@ -4,21 +4,31 @@ The paper shows AMG's mean time/step alongside the mean RT_FLIT_TOT and
 RT_RB_STL trends over all runs — the motivation for modelling *deviation*
 rather than absolute time (§V-B).  We report the per-counter Pearson
 correlation between the mean counter trend and the mean time trend.
+
+The dataset is an experiment parameter: ``fig07`` analyses AMG-128 (the
+paper's panel) and ``fig07:<dataset>`` (e.g. ``fig07:MILC-512``) any
+other dataset, through the registry and CLI alike.  The underlying
+``mean_trends:<key>`` stage is shared with Fig. 3.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.experiments.context import get_campaign
+from repro.experiments import stages
 from repro.experiments.report import ExperimentResult, ascii_series, ascii_table
+from repro.graph import Graph, stage_fn
 from repro.network.counters import APP_COUNTERS
 
+#: ``fig07:<value>`` parameterizes this experiment's dataset key.
+PARAM = "key"
 
-def run(campaign=None, fast: bool = False, key: str = "AMG-128") -> ExperimentResult:
-    camp = get_campaign(campaign, fast)
-    ds = camp[key]
-    xm, ym = ds.mean_trends()
+
+@stage_fn(version=1)
+def render(ctx):
+    key = ctx.params["key"]
+    trends = ctx.inputs["trends"]
+    xm, ym = trends["xm"], trends["ym"]
     rows = []
     corr = {}
     for i, name in enumerate(APP_COUNTERS):
@@ -49,8 +59,38 @@ def run(campaign=None, fast: bool = False, key: str = "AMG-128") -> ExperimentRe
         + "\n\n".join(blocks)
     )
     return ExperimentResult(
-        exp_id="fig07",
+        exp_id=ctx.params["exp_id"],
         title=f"Mean counter trends vs mean time trend, {key} (Fig. 7)",
         data={"correlations": corr, "time_trend": ym, "counter_trends": xm},
         text=text,
     )
+
+
+def build(g: Graph, ctx, exp_id: str = "fig07", key: str = "AMG-128") -> str:
+    man = ctx.manifest
+    if key not in man["keys"]:
+        raise KeyError(
+            f"unknown dataset {key!r} for fig07; campaign has {man['keys']}"
+        )
+    camp_stage = stages.add_campaign_stage(g)
+    tstage = g.add(
+        f"mean_trends:{key}",
+        stages.mean_trends,
+        inputs=[("manifest", camp_stage)],
+        dataset=key,
+    )
+    return g.add(
+        f"render:{exp_id}",
+        render,
+        params={"exp_id": exp_id, "key": key},
+        inputs=[("trends", tstage)],
+        kind="render",
+        local=True,
+    )
+
+
+def run(campaign=None, fast: bool = False, key: str = "AMG-128") -> ExperimentResult:
+    from repro.experiments import run_experiment
+
+    exp_id = "fig07" if key == "AMG-128" else f"fig07:{key}"
+    return run_experiment(exp_id, campaign=campaign, fast=fast)

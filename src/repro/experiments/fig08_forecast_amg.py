@@ -7,34 +7,31 @@ Shape targets: longer temporal context (m=8) lowers MAPE; larger horizon
 (k=10) lowers MAPE (bursts amortise); placement features add little;
 512-node errors slightly above 128-node ones.
 
-Window tensors come from each dataset's FeatureStore (via
-`repro.analysis.forecasting`), shared with Fig. 11's importance panels.
-Grid cells fan out over `repro.parallel` when `REPRO_WORKERS` (or the
-`workers=` knob on `forecast_grid`) asks for it — results are
-bit-identical for any worker count.
+Each grid cell is one memoized stage (see
+:mod:`repro.experiments._forecast_common`).
 """
 
 from __future__ import annotations
 
-from repro.experiments._forecast_common import forecast_grid, grid_summary
-from repro.experiments.context import get_campaign
+from repro.experiments._forecast_common import build_grid
 from repro.experiments.report import ExperimentResult
+from repro.graph import Graph
 
 
-def run(campaign=None, fast: bool = False) -> ExperimentResult:
-    camp = get_campaign(campaign, fast)
-    data, text = forecast_grid(
-        camp,
+def build(g: Graph, ctx, exp_id: str = "fig08") -> str:
+    return build_grid(
+        g,
+        ctx,
+        exp_id,
+        title="Forecasting MAPE for AMG datasets (Fig. 8)",
         keys=["AMG-128", "AMG-512"],
         ms=[3, 8],
         ks=[5, 10],
         tiers=["app", "app+placement"],
-        fast=fast,
     )
-    summary = grid_summary(data)
-    return ExperimentResult(
-        exp_id="fig08",
-        title="Forecasting MAPE for AMG datasets (Fig. 8)",
-        data={"grid": data, "summary": summary},
-        text=text,
-    )
+
+
+def run(campaign=None, fast: bool = False) -> ExperimentResult:
+    from repro.experiments import run_experiment
+
+    return run_experiment("fig08", campaign=campaign, fast=fast)

@@ -8,49 +8,41 @@ Shape targets (paper §V-B):
 * flit counters (PT_FLIT_VC0, RT_FLIT_TOT) most important for miniVite;
 * prediction MAPE < 5% for every dataset.
 
-The flattened mean-centered sample matrices come from each dataset's
-FeatureStore, so reruns and benchmarks share one construction.
-
-Datasets are independent, so the driver fans them out over
-:mod:`repro.parallel` (``REPRO_WORKERS`` / ``workers=``); inside a pool
-worker the nested RFE fold fan-out degrades to serial automatically, so
-there is exactly one level of processes.  Results reduce in dataset
-order — output is bit-identical for any worker count.
+Stage graph: one ``rfe:<key>`` stage per qualifying dataset (the shared
+:func:`repro.experiments.stages.rfe_ranking` body — Table III and the
+importance panels reuse nothing here, but the per-dataset rankings are
+memoized in the artifact store so a warm rerun loads instead of
+recomputing), plus the render stage assembling the heatmap and MAPE
+table.  Datasets are independent stages, so they fan out over the
+shared worker pool; inside a pool worker the nested RFE fold fan-out
+degrades to serial automatically, so there is exactly one level of
+processes.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.analysis.deviation import DeviationAnalysis, deviation_analysis
 from repro.apps.registry import DATASET_KEYS
-from repro.experiments.context import get_campaign
+from repro.experiments import stages
 from repro.experiments.report import ExperimentResult, ascii_heatmap, ascii_table
+from repro.graph import Graph, stage_fn
 from repro.network.counters import APP_COUNTERS
-from repro.parallel import parallel_map
 
 
-def _dataset_relevance(ds, n_splits: int, max_samples: int) -> DeviationAnalysis:
-    """One dataset's RFE sweep (top-level: pool task)."""
-    return deviation_analysis(ds, n_splits=n_splits, max_samples=max_samples)
-
-
-def run(campaign=None, fast: bool = False, workers: int | None = None) -> ExperimentResult:
-    camp = get_campaign(campaign, fast)
-    keys = [k for k in DATASET_KEYS if k in camp.keys() and len(camp[k]) >= 4]
-    n_splits = 4 if fast else 10
-    max_samples = 600 if fast else 2500
-    tasks = [
-        (camp[key], min(n_splits, len(camp[key])), max_samples) for key in keys
-    ]
-    analyses = parallel_map(_dataset_relevance, tasks, workers=workers)
+@stage_fn(version=1)
+def render(ctx):
+    keys = ctx.params["keys"]
     matrix = []
     mape_rows = []
     results = {}
-    for key, res in zip(keys, analyses):
+    for key in keys:
+        res = ctx.inputs[key]
         results[key] = res
         matrix.append(res.relevance.scores)
-        mape_rows.append([key, f"{res.prediction_mape:.2f}%", ", ".join(res.top_counters(3))])
+        mape_rows.append(
+            [key, f"{res.prediction_mape:.2f}%", ", ".join(res.top_counters(3))]
+        )
     matrix = np.asarray(matrix)
     text = (
         ascii_heatmap(keys, APP_COUNTERS, matrix)
@@ -58,7 +50,7 @@ def run(campaign=None, fast: bool = False, workers: int | None = None) -> Experi
         + ascii_table(["Dataset", "Prediction MAPE", "Top counters"], mape_rows)
     )
     return ExperimentResult(
-        exp_id="fig09",
+        exp_id=ctx.params["exp_id"],
         title="Counter relevance for deviation prediction (Fig. 9)",
         data={
             "keys": keys,
@@ -69,3 +61,38 @@ def run(campaign=None, fast: bool = False, workers: int | None = None) -> Experi
         },
         text=text,
     )
+
+
+def build(g: Graph, ctx, exp_id: str = "fig09") -> str:
+    man = ctx.manifest
+    keys = [k for k in DATASET_KEYS if k in man["keys"] and man["runs"][k] >= 4]
+    n_splits = 4 if ctx.fast else 10
+    max_samples = 600 if ctx.fast else 2500
+    camp_stage = stages.add_campaign_stage(g)
+    inputs = []
+    for key in keys:
+        name = g.add(
+            f"rfe:{key}",
+            stages.rfe_ranking,
+            params={
+                "n_splits": min(n_splits, man["runs"][key]),
+                "max_samples": max_samples,
+            },
+            inputs=[("manifest", camp_stage)],
+            dataset=key,
+        )
+        inputs.append((key, name))
+    return g.add(
+        f"render:{exp_id}",
+        render,
+        params={"exp_id": exp_id, "keys": keys},
+        inputs=inputs,
+        kind="render",
+        local=True,
+    )
+
+
+def run(campaign=None, fast: bool = False, workers: int | None = None) -> ExperimentResult:
+    from repro.experiments import run_experiment
+
+    return run_experiment("fig09", campaign=campaign, fast=fast, workers=workers)

@@ -4,25 +4,24 @@ All four feature tiers.  Shape targets: larger m and k lower MAPE; adding
 io and then sys features successively improves MILC's forecasts
 (bandwidth-bound code, sensitive to system-wide I/O traffic, §V-C).
 
-Window tensors come from each dataset's FeatureStore; the
-(m=30, k=40, all-features) cell is the same tensor Fig. 11 and Fig. 12
-consume, so a combined fig10-fig12 run builds it once.  Grid cells fan
-out over `repro.parallel` when `REPRO_WORKERS` (or the `workers=` knob
-on `forecast_grid`) asks for it — results are bit-identical for any
-worker count.
+Each grid cell is one memoized stage (see
+:mod:`repro.experiments._forecast_common`); the (m=30, k=40,
+all-features) windows are the same tensors Fig. 11 and Fig. 12 consume.
 """
 
 from __future__ import annotations
 
-from repro.experiments._forecast_common import forecast_grid, grid_summary
-from repro.experiments.context import get_campaign
+from repro.experiments._forecast_common import build_grid
 from repro.experiments.report import ExperimentResult
+from repro.graph import Graph
 
 
-def run(campaign=None, fast: bool = False) -> ExperimentResult:
-    camp = get_campaign(campaign, fast)
-    data, text = forecast_grid(
-        camp,
+def build(g: Graph, ctx, exp_id: str = "fig10") -> str:
+    return build_grid(
+        g,
+        ctx,
+        exp_id,
+        title="Forecasting MAPE for MILC datasets (Fig. 10)",
         keys=["MILC-128", "MILC-512"],
         ms=[10, 30],
         ks=[20, 40],
@@ -32,12 +31,10 @@ def run(campaign=None, fast: bool = False) -> ExperimentResult:
             "app+placement+io",
             "app+placement+io+sys",
         ],
-        fast=fast,
     )
-    summary = grid_summary(data)
-    return ExperimentResult(
-        exp_id="fig10",
-        title="Forecasting MAPE for MILC datasets (Fig. 10)",
-        data={"grid": data, "summary": summary},
-        text=text,
-    )
+
+
+def run(campaign=None, fast: bool = False) -> ExperimentResult:
+    from repro.experiments import run_experiment
+
+    return run_experiment("fig10", campaign=campaign, fast=fast)

@@ -6,39 +6,27 @@ using a model trained only on the regular (80-step) dataset.  Shape
 target: predictions track the observed segment times through the run's
 variability, with occasional biased segments (irreducible uncertainty).
 
-Training windows come from the MILC-128 dataset's FeatureStore — warm
-after a Fig. 10 run at the same (tier, m, k) cell.
+Stage graph: the trained ``forecaster:MILC-128:...`` stage (shared with
+Fig. 11's MILC panel when the paper-scale (m=30, k=40) cell applies — a
+combined fig11+fig12 run fits it once) feeding the ``longrun:...``
+segment-forecast stage.
 """
 
 from __future__ import annotations
 
-import numpy as np
-
-from repro.analysis.forecasting import long_run_forecast
-from repro.experiments._forecast_common import bench_forecaster, fast_forecaster
-from repro.experiments.context import get_campaign, long_run_key
+from repro.experiments import stages
 from repro.experiments.report import ExperimentResult, ascii_series, ascii_table
+from repro.graph import Graph, stage_fn
 
 
-def run(campaign=None, fast: bool = False) -> ExperimentResult:
-    camp = get_campaign(campaign, fast)
-    lkey = long_run_key(camp)
-    if lkey is None:
-        raise RuntimeError("campaign has no long MILC run")
-    long_run = camp[lkey].runs[0]
-    train = camp["MILC-128"]
-    t = len(long_run.step_times)
-    # The paper's m=30 / k=40; clamp for the tiny campaign's shorter run.
-    k = 40 if t >= 200 else max(10, t // 8)
-    m = 30 if train.num_steps > 30 + k else max(5, train.num_steps - k - 1)
-    tier = "app+placement+io+sys"
-    factory = fast_forecaster if fast else bench_forecaster
-    res = long_run_forecast(
-        train, long_run, m=m, k=k, tier=tier, model_factory=factory
-    )
+@stage_fn(version=1)
+def render(ctx):
+    p = ctx.params
+    res = ctx.inputs["res"]
+    lkey, t, m, k = p["lkey"], p["t"], p["m"], p["k"]
     rows = [
-        [int(s), f"{o:.1f}", f"{p:.1f}", f"{100 * abs(o - p) / o:.1f}%"]
-        for s, o, p in zip(res.segment_starts, res.observed, res.predicted)
+        [int(s), f"{o:.1f}", f"{p_:.1f}", f"{100 * abs(o - p_) / o:.1f}%"]
+        for s, o, p_ in zip(res.segment_starts, res.observed, res.predicted)
     ]
     mid = res.segment_starts + k / 2
     text = (
@@ -50,7 +38,7 @@ def run(campaign=None, fast: bool = False) -> ExperimentResult:
         + ascii_series(mid, res.predicted, label="predicted time per segment (s)")
     )
     return ExperimentResult(
-        exp_id="fig12",
+        exp_id=p["exp_id"],
         title="Forecasting 40-step segments of a 620-step MILC run (Fig. 12)",
         data={
             "segment_starts": res.segment_starts,
@@ -62,3 +50,41 @@ def run(campaign=None, fast: bool = False) -> ExperimentResult:
         },
         text=text,
     )
+
+
+def build(g: Graph, ctx, exp_id: str = "fig12") -> str:
+    man = ctx.manifest
+    lkey = next(
+        (key for key in man["keys"] if key.startswith("MILC-128-long")), None
+    )
+    if lkey is None:
+        raise RuntimeError("campaign has no long MILC run")
+    t = man["num_steps"][lkey]
+    train_steps = man["num_steps"]["MILC-128"]
+    # The paper's m=30 / k=40; clamp for the tiny campaign's shorter run.
+    k = 40 if t >= 200 else max(10, t // 8)
+    m = 30 if train_steps > 30 + k else max(5, train_steps - k - 1)
+    tier = "app+placement+io+sys"
+    model = stages.model_name(ctx.fast)
+    fstage = stages.add_forecaster_stage(g, "MILC-128", m, k, tier, model)
+    lstage = g.add(
+        f"longrun:{lkey}:m{m}:k{k}:{tier}:{model}",
+        stages.longrun_segments,
+        params={"m": m, "k": k, "tier": tier, "train_key": "MILC-128"},
+        inputs=[("model", fstage)],
+        dataset=lkey,
+    )
+    return g.add(
+        f"render:{exp_id}",
+        render,
+        params={"exp_id": exp_id, "lkey": lkey, "t": t, "m": m, "k": k},
+        inputs=[("res", lstage)],
+        kind="render",
+        local=True,
+    )
+
+
+def run(campaign=None, fast: bool = False) -> ExperimentResult:
+    from repro.experiments import run_experiment
+
+    return run_experiment("fig12", campaign=campaign, fast=fast)

@@ -3,18 +3,36 @@
 from __future__ import annotations
 
 from repro.experiments.report import ExperimentResult, ascii_table
+from repro.graph import Graph, stage_fn
 from repro.network.counters import COUNTER_SPECS
 
 
-def run(campaign=None, fast: bool = False) -> ExperimentResult:
+@stage_fn(version=1)
+def render(ctx):
     rows = [
         [s.name, s.abbreviation, s.description]
         for s in COUNTER_SPECS
     ]
     text = ascii_table(["Counter name", "Abbreviation", "Description"], rows)
     return ExperimentResult(
-        exp_id="table02",
+        exp_id=ctx.params["exp_id"],
         title="Network hardware performance counters (Table II)",
         data={"rows": rows},
         text=text,
     )
+
+
+def build(g: Graph, ctx, exp_id: str = "table02") -> str:
+    return g.add(
+        f"render:{exp_id}",
+        render,
+        params={"exp_id": exp_id},
+        kind="render",
+        local=True,
+    )
+
+
+def run(campaign=None, fast: bool = False) -> ExperimentResult:
+    from repro.experiments import run_experiment
+
+    return run_experiment("table02", campaign=campaign, fast=fast)

@@ -32,7 +32,6 @@ from __future__ import annotations
 
 import hashlib
 import os
-import warnings
 import weakref
 from pathlib import Path
 from time import perf_counter
@@ -42,6 +41,7 @@ import numpy as np
 from repro.campaign.datasets import Campaign, FileLock, RunDataset
 from repro.features.spec import LDMS_SPEC, FeatureSpec
 from repro.features.windows import build_windows, validate_window_params
+from repro.graph.store import atomic_write, guarded_load
 from repro.obs import METRICS, span
 
 #: On-disk feature cache format version; folded into the entry path so a
@@ -185,42 +185,22 @@ class FeatureStore:
         return entry
 
     def _disk_load(self, token: str) -> dict[str, np.ndarray] | None:
-        path = self.cache_root() / f"{token}.npz"
-        if not path.exists():
-            return None
-        try:
+        def reader(path: Path) -> dict[str, np.ndarray]:
             with np.load(path) as npz:
                 return {name: npz[name] for name in npz.files}
-        except Exception as exc:
-            warnings.warn(
-                f"discarding corrupt feature cache entry {path}: "
-                f"{type(exc).__name__}: {exc}",
-                RuntimeWarning,
-                stacklevel=4,
-            )
-            try:
-                path.unlink()
-            except OSError:
-                pass
-            return None
+
+        return guarded_load(
+            self.cache_root() / f"{token}.npz", reader, "feature cache"
+        )
 
     def _disk_save(self, token: str, entry: dict[str, np.ndarray]) -> None:
-        root = self.cache_root()
-        lock = FileLock(root.parent / f"{self.fingerprint()}.lock")
-        try:
-            with lock:
-                root.mkdir(parents=True, exist_ok=True)
-                path = root / f"{token}.npz"
-                tmp = path.with_name(f"{path.name}.tmp{os.getpid()}")
-                with open(tmp, "wb") as fh:
-                    np.savez_compressed(fh, **entry)
-                os.replace(tmp, path)
-        except OSError as exc:  # cache dir unwritable: degrade to memo-only
-            warnings.warn(
-                f"feature cache write failed for {token}: {exc}",
-                RuntimeWarning,
-                stacklevel=4,
-            )
+        # Unwritable cache dir degrades to memo-only (atomic_write warns).
+        atomic_write(
+            self.cache_root() / f"{token}.npz",
+            lambda fh: np.savez_compressed(fh, **entry),
+            lock=FileLock(self.cache_root().parent / f"{self.fingerprint()}.lock"),
+            fail_msg=f"feature cache write failed for {token}",
+        )
 
     # ---- tier matrices --------------------------------------------------- #
 

@@ -1,0 +1,46 @@
+"""Artifact-addressed experiment DAG (stages + store + scheduler).
+
+The experiment layer declares its work as a :class:`Graph` of pure
+:class:`Stage` functions; :class:`GraphRunner` resolves each stage's
+input-addressed fingerprint against the content-addressed
+:class:`ArtifactStore` and executes only the missing cone, streaming
+ready stages onto the shared worker pool.  See ``docs/architecture.md``.
+"""
+
+from repro.graph.scheduler import GraphRunner, StagePlan, render_plan
+from repro.graph.stage import (
+    GRAPH_FORMAT_VERSION,
+    Graph,
+    Stage,
+    StageCtx,
+    fn_path,
+    resolve_fn,
+    stage_fn,
+)
+from repro.graph.store import (
+    ARTIFACT_FORMAT_VERSION,
+    MISS,
+    ArtifactStore,
+    artifact_cache_enabled,
+    atomic_write,
+    guarded_load,
+)
+
+__all__ = [
+    "ARTIFACT_FORMAT_VERSION",
+    "GRAPH_FORMAT_VERSION",
+    "MISS",
+    "ArtifactStore",
+    "Graph",
+    "GraphRunner",
+    "Stage",
+    "StageCtx",
+    "StagePlan",
+    "artifact_cache_enabled",
+    "atomic_write",
+    "fn_path",
+    "guarded_load",
+    "render_plan",
+    "resolve_fn",
+    "stage_fn",
+]

@@ -1,0 +1,240 @@
+"""Topological execution of a stage graph with store-backed memoization.
+
+:class:`GraphRunner` resolves a :class:`~repro.graph.stage.Graph`
+against an :class:`~repro.graph.store.ArtifactStore`:
+
+* stages whose fingerprint is already stored are **hits** — their
+  artifacts are loaded instead of recomputed, and their upstream cone is
+  not even visited;
+* everything else is scheduled in topological order onto the shared
+  :func:`repro.parallel.get_pool` worker pool, streaming: a stage is
+  submitted the moment its inputs are complete, independent branches run
+  concurrently, and completed results are persisted immediately so a
+  crashed run resumes where it stopped;
+* ``local`` stages (renders, campaign-bound work) run in the parent
+  process, between pool completions.
+
+Warm-vs-cold accounting lands on the metrics registry —
+``graph.stage.hit`` / ``graph.stage.miss`` for needed stages at
+resolution time and ``graph.stage.run`` per executed stage — which is
+what the warm-run "zero recompute" tests and the ``repro.obs report``
+cache summary read.
+
+Determinism: stages are pure functions of their fingerprinted inputs
+and results are keyed by stage name, so completion order (and therefore
+worker count) can never perturb any downstream value.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.graph.stage import Graph, Stage, StageCtx, resolve_fn
+from repro.graph.store import MISS, ArtifactStore
+from repro.obs import METRICS, span
+from repro.parallel import get_pool, wait_any
+
+
+def _exec_stage(fn_path: str, name: str, params: dict, inputs: dict, ds, camp=None):
+    """Execute one stage body (top-level so pool workers can run it)."""
+    fn = resolve_fn(fn_path)
+    with span("graph.stage", stage=name):
+        return fn(StageCtx(params=params, inputs=inputs, ds=ds, camp=camp))
+
+
+@dataclass(frozen=True)
+class StagePlan:
+    """One stage's resolution: its fingerprint and hit/miss/run status."""
+
+    stage: Stage
+    fingerprint: str
+    status: str  # "hit" | "miss" | "force" | "run"
+
+
+_TAGS = {"hit": "[hit ]", "miss": "[miss]", "force": "[force]", "run": "[run ]"}
+
+
+def render_plan(plans: list[StagePlan]) -> str:
+    """Human-readable DAG resolution (the CLI's ``--explain`` output)."""
+    width = max((len(p.stage.name) for p in plans), default=0)
+    lines = [
+        f"{_TAGS[p.status]:<7} {p.stage.kind:<7} "
+        f"{p.stage.name:<{width}}  {p.fingerprint}"
+        for p in plans
+    ]
+    counts = defaultdict(int)
+    for p in plans:
+        counts[p.status] += 1
+    summary = ", ".join(f"{counts[s]} {s}" for s in _TAGS if counts[s])
+    lines.append(f"{len(plans)} stages: {summary}")
+    return "\n".join(lines)
+
+
+class GraphRunner:
+    """Resolve and execute a stage graph against an artifact store.
+
+    Parameters
+    ----------
+    graph:
+        The stage DAG.
+    store:
+        Artifact persistence; a disabled store makes every stage run.
+    campaign_fingerprint:
+        Folded into the fingerprint of every campaign/dataset-bound
+        stage (see :meth:`Graph.fingerprints`).
+    campaign:
+        Zero-argument provider returning the materialised
+        :class:`~repro.campaign.datasets.Campaign`.  Called lazily, only
+        when an *executing* stage is campaign- or dataset-bound — a
+        fully warm run never touches it.
+    workers:
+        Worker-count request forwarded to :func:`repro.parallel.get_pool`.
+    force:
+        Bypass stored artifacts (results are still re-saved).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        *,
+        store: ArtifactStore,
+        campaign_fingerprint: str | None,
+        campaign: Callable | None = None,
+        workers: int | None = None,
+        force: bool = False,
+    ) -> None:
+        self.graph = graph
+        self.store = store
+        self.workers = workers
+        self.force = force
+        self.fingerprints = graph.fingerprints(campaign_fingerprint)
+        self._provider = campaign
+        self._camp = None
+
+    def _campaign(self):
+        if self._camp is None:
+            if self._provider is None:
+                raise RuntimeError(
+                    "graph has campaign-bound stages to execute "
+                    "but no campaign provider was supplied"
+                )
+            self._camp = self._provider()
+        return self._camp
+
+    # -- resolution ----------------------------------------------------- #
+
+    def plan(self) -> list[StagePlan]:
+        """Hit/miss status of every stage, in topological order."""
+        plans = []
+        for name, st in self.graph.stages.items():
+            if self.force:
+                status = "force"
+            elif not (st.store and self.store.enabled):
+                status = "run"
+            elif self.store.has(st.group(), self.fingerprints[name]):
+                status = "hit"
+            else:
+                status = "miss"
+            plans.append(StagePlan(st, self.fingerprints[name], status))
+        return plans
+
+    # -- execution ------------------------------------------------------ #
+
+    def run(self, targets: list[str]) -> dict[str, object]:
+        """Materialise ``targets``, reusing stored artifacts.
+
+        Returns ``{target: value}``.  Only the cone of stages actually
+        needed runs: the upstream walk stops at every stored hit.
+        """
+        targets = list(targets)
+        for t in targets:
+            if t not in self.graph.stages:
+                raise KeyError(f"unknown stage {t!r}")
+        with span(
+            "graph.run", targets=len(targets), stages=len(self.graph.stages)
+        ):
+            return self._run(targets)
+
+    def _run(self, targets: list[str]) -> dict[str, object]:
+        graph, store, fps = self.graph, self.store, self.fingerprints
+
+        # Needed-set walk, newest-first: loads hit artifacts as it goes
+        # (digest-verified — a corrupt entry counts as a miss and its
+        # upstream cone rejoins the walk), stops recursion at each hit.
+        values: dict[str, object] = {}
+        exec_set: set[str] = set()
+        stack, seen = list(targets), set()
+        while stack:
+            name = stack.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            st = graph.stages[name]
+            if not self.force and st.store and store.enabled:
+                value = store.load(st.group(), fps[name])
+                if value is not MISS:
+                    values[name] = value
+                    continue
+                METRICS.counter("graph.stage.miss").inc()
+            exec_set.add(name)
+            stack.extend(up for _, up in st.inputs)
+        METRICS.counter("graph.stage.hit").inc(len(values))
+
+        if exec_set:
+            self._execute(exec_set, values)
+        return {t: values[t] for t in targets}
+
+    def _execute(self, exec_set: set[str], values: dict[str, object]) -> None:
+        graph, store, fps = self.graph, self.store, self.fingerprints
+
+        order = [n for n in graph.stages if n in exec_set]
+        deps_left: dict[str, int] = {}
+        downstream: dict[str, list[str]] = defaultdict(list)
+        for name in order:
+            ups = {up for _, up in graph.stages[name].inputs if up in exec_set}
+            deps_left[name] = len(ups)
+            for up in ups:
+                downstream[up].append(name)
+        ready = deque(n for n in order if deps_left[n] == 0)
+
+        pool = get_pool(self.workers)
+        pending: list[tuple[str, object]] = []
+
+        def finish(name: str, value: object) -> None:
+            st = graph.stages[name]
+            values[name] = value
+            if st.store:
+                store.save(st.group(), fps[name], value)
+            for down in downstream[name]:
+                deps_left[down] -= 1
+                if deps_left[down] == 0:
+                    ready.append(down)
+
+        while ready or pending:
+            while ready:
+                name = ready.popleft()
+                st = graph.stages[name]
+                METRICS.counter("graph.stage.run").inc()
+                inputs = {role: values[up] for role, up in st.inputs}
+                camp = self._campaign() if st.campaign else None
+                ds = (
+                    self._campaign()[st.dataset]
+                    if st.dataset is not None
+                    else None
+                )
+                if st.local or not pool.parallel:
+                    finish(
+                        name,
+                        _exec_stage(st.fn, name, dict(st.params), inputs, ds, camp),
+                    )
+                else:
+                    pending.append(
+                        (name, pool.submit(_exec_stage, st.fn, name, dict(st.params), inputs, ds))
+                    )
+            if pending:
+                done = wait_any([fut for _, fut in pending])
+                for i in sorted(done, reverse=True):
+                    name, fut = pending.pop(i)
+                    finish(name, pool.result(fut))

@@ -147,6 +147,14 @@ def _cache_summary(metrics: dict[str, object]) -> list[str]:
         lines.append(
             f"campaign cache: {camp_hits} hits, {camp_miss} generations"
         )
+    st_hits = int(metrics.get("graph.stage.hit", 0) or 0)
+    st_miss = int(metrics.get("graph.stage.miss", 0) or 0)
+    st_runs = int(metrics.get("graph.stage.run", 0) or 0)
+    if st_hits + st_miss + st_runs:
+        lines.append(
+            f"stage graph: {st_hits} artifact hits, {st_miss} misses, "
+            f"{st_runs} stages run"
+        )
     return lines
 
 

@@ -38,7 +38,7 @@ from __future__ import annotations
 
 import atexit
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 
 from repro.config import DEFAULT_SEED, resolve_workers, rng_for
@@ -57,6 +57,7 @@ __all__ = [
     "parallel_map",
     "shutdown_pool",
     "task_seed",
+    "wait_any",
 ]
 
 #: Set in every pool worker's environment by the bootstrap initializer;
@@ -136,6 +137,29 @@ class _DoneFuture:
 
     def result(self):
         return self._value
+
+
+def wait_any(futures: list) -> list[int]:
+    """Indices of completed futures, blocking until at least one is done.
+
+    Accepts the mixed future population :meth:`WorkerPool.submit`
+    produces — already-done in-process :class:`_DoneFuture` results and
+    real executor futures — so a DAG scheduler can drain completions in
+    finish order regardless of pool mode.
+    """
+
+    def done_now() -> list[int]:
+        return [
+            i
+            for i, f in enumerate(futures)
+            if isinstance(f, _DoneFuture) or f.done()
+        ]
+
+    ready = done_now()
+    if ready or not futures:
+        return ready
+    wait(futures, return_when=FIRST_COMPLETED)
+    return done_now()
 
 
 # --------------------------------------------------------------------------- #

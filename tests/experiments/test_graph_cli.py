@@ -1,0 +1,179 @@
+"""CLI/API seams of the stage-graph refactor.
+
+Covers the ``--fast``/``REPRO_FAST`` precedence rule (both orders), the
+parameterised ``fig07:<dataset>`` addressing, ``--explain``/``--force``,
+and the ``--export`` error path (nonzero exit, per-file reporting).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.experiments.context as context_mod
+from repro.experiments import run_experiment
+from repro.experiments.__main__ import main
+from repro.experiments.context import resolve_fast
+from repro.experiments.export import ExportError, export_result
+from repro.experiments.report import ExperimentResult
+
+
+# --------------------------------------------------------------------------- #
+# resolve_fast precedence (satellite: both orders)
+# --------------------------------------------------------------------------- #
+
+
+def test_explicit_flag_wins_over_env_off(monkeypatch):
+    monkeypatch.setenv("REPRO_FAST", "0")
+    assert resolve_fast(True) is True
+
+
+def test_env_on_wins_over_flag_default(monkeypatch):
+    monkeypatch.setenv("REPRO_FAST", "1")
+    assert resolve_fast(False) is True
+    assert resolve_fast(None) is True
+
+
+def test_neither_set_means_full_scale(monkeypatch):
+    monkeypatch.delenv("REPRO_FAST", raising=False)
+    assert resolve_fast(False) is False
+    assert resolve_fast(None) is False
+
+
+@pytest.fixture()
+def seen_fast(monkeypatch):
+    """Record the fast flag every ExperimentContext resolves."""
+    seen = {}
+    real = context_mod.ExperimentContext
+
+    class Spy(real):
+        def __init__(self, *args, **kwargs):
+            super().__init__(*args, **kwargs)
+            seen["fast"] = self.fast
+
+    monkeypatch.setattr(context_mod, "ExperimentContext", Spy)
+    return seen
+
+
+def test_cli_fast_flag_honoured_even_when_env_says_no(monkeypatch, seen_fast):
+    monkeypatch.setenv("REPRO_FAST", "0")
+    assert main(["table01", "--fast"]) == 0
+    assert seen_fast["fast"] is True
+
+
+def test_cli_env_fast_honoured_without_flag(monkeypatch, seen_fast):
+    monkeypatch.setenv("REPRO_FAST", "1")
+    assert main(["table01"]) == 0
+    assert seen_fast["fast"] is True
+
+
+def test_cli_defaults_to_full_scale(monkeypatch, seen_fast):
+    monkeypatch.delenv("REPRO_FAST", raising=False)
+    assert main(["table01"]) == 0
+    assert seen_fast["fast"] is False
+
+
+# --------------------------------------------------------------------------- #
+# Parameterised experiments (satellite: fig07:<dataset>)
+# --------------------------------------------------------------------------- #
+
+
+def test_fig07_takes_a_dataset_argument(tiny_campaign):
+    res = run_experiment("fig07:MILC-512", campaign=tiny_campaign, fast=True)
+    assert res.exp_id == "fig07:MILC-512"
+    assert "MILC-512" in res.title
+    default = run_experiment("fig07", campaign=tiny_campaign, fast=True)
+    assert "AMG-128" in default.title
+
+
+def test_fig07_unknown_dataset_rejected(tiny_campaign):
+    with pytest.raises(KeyError, match="unknown dataset"):
+        run_experiment("fig07:NOPE-999", campaign=tiny_campaign, fast=True)
+
+
+def test_argument_on_parameterless_experiment_rejected():
+    with pytest.raises(KeyError, match="does not take an argument"):
+        run_experiment("table01:AMG-128")
+
+
+def test_unknown_experiment_keyerror_lists_choices():
+    with pytest.raises(KeyError, match="unknown experiment 'nope'"):
+        run_experiment("nope")
+
+
+def test_cli_rejects_unknown_experiment(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["nope"])
+    assert exc.value.code == 2
+    assert "unknown experiment" in capsys.readouterr().err
+
+
+# --------------------------------------------------------------------------- #
+# --explain / --force
+# --------------------------------------------------------------------------- #
+
+
+@pytest.mark.artifact_cache
+def test_explain_shows_miss_then_hit(tmp_path, monkeypatch, capsys):
+    monkeypatch.setenv("REPRO_ARTIFACT_CACHE", "1")
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+
+    assert main(["table01", "--explain"]) == 0
+    out = capsys.readouterr().out
+    assert "[miss]" in out and "render:table01" in out
+
+    # Explain must not have executed anything.
+    assert main(["table01", "--explain"]) == 0
+    assert "[miss]" in capsys.readouterr().out
+
+    assert main(["table01"]) == 0
+    capsys.readouterr()
+    assert main(["table01", "--explain"]) == 0
+    out = capsys.readouterr().out
+    assert "[hit ]" in out and "[miss]" not in out
+
+    # --force plans every stage as a recompute despite the warm store.
+    assert main(["table01", "--explain", "--force"]) == 0
+    assert "[force]" in capsys.readouterr().out
+
+
+# --------------------------------------------------------------------------- #
+# --export error surfacing (satellite: the hoisted-import bugfix)
+# --------------------------------------------------------------------------- #
+
+
+def test_export_unwritable_dir_raises_export_error(tmp_path):
+    target = tmp_path / "blocked"
+    target.write_text("a file where the export dir should go")
+    result = ExperimentResult("x", "t", {}, "body")
+    with pytest.raises(ExportError, match="export failed for x"):
+        export_result(result, target)
+
+
+def test_export_partial_failure_records_both_sides(tmp_path):
+    out = tmp_path / "results"
+    out.mkdir()
+    (out / "x.json").mkdir()  # the JSON target cannot be written
+    result = ExperimentResult("x", "t", {"rows": [[1, 2]]}, "body")
+    with pytest.raises(ExportError) as exc:
+        export_result(result, out)
+    err = exc.value
+    assert [p.name for p, _ in err.errors] == ["x.json"]
+    assert sorted(p.name for p in err.written) == ["x.csv", "x.txt"]
+    assert (out / "x.txt").read_text().startswith("== x: t ==")
+
+
+def test_cli_export_failure_exits_nonzero_and_reports(tmp_path, capsys):
+    out = tmp_path / "results"
+    out.mkdir()
+    (out / "table02.json").mkdir()
+    assert main(["table02", "--export", str(out)]) == 1
+    captured = capsys.readouterr()
+    assert "error: export failed for table02" in captured.err
+    assert "table02.json" in captured.err
+    # The files that could be written still were, and were reported.
+    assert "wrote" in captured.out and "table02.txt" in captured.out
+
+
+def test_cli_export_success_stays_zero(tmp_path, capsys):
+    assert main(["table02", "--export", str(tmp_path / "ok")]) == 0
+    assert "wrote" in capsys.readouterr().out

@@ -118,23 +118,23 @@ def test_warm_experiment_pass_rebuilds_nothing(tiny_campaign, monkeypatch):
         fig12_longrun,
     )
 
-    # A cheap deterministic stand-in for the attention forecaster; the
-    # figure modules imported the factory by name, so patch each import.
+    # A cheap deterministic stand-in for the attention forecaster; stage
+    # bodies resolve the factory from _forecast_common at call time, so
+    # one patch covers every figure.
     def cheap(seed=0):
         return make_forecaster("ridge")
 
     monkeypatch.setattr(_forecast_common, "fast_forecaster", cheap)
-    monkeypatch.setattr(fig11_importances, "fast_forecaster", cheap)
-    monkeypatch.setattr(fig12_longrun, "fast_forecaster", cheap)
 
     # Shrink fig09's RFE sweep the same way — the estimator's size has no
     # bearing on the cache accounting under test.
     from repro.analysis import deviation
 
+    real_deviation_analysis = deviation.deviation_analysis
     monkeypatch.setattr(
-        fig09_relevance,
+        deviation,
         "deviation_analysis",
-        lambda ds, **kw: deviation.deviation_analysis(
+        lambda ds, **kw: real_deviation_analysis(
             ds, estimator_factory=_fast_gbr, **kw
         ),
     )

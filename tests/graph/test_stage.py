@@ -1,0 +1,99 @@
+"""Stage fingerprints: what invalidates what, and graph construction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import Graph, fn_path, resolve_fn, stage_fn
+
+
+@stage_fn(version=1)
+def produce(ctx):
+    return ctx.params["value"]
+
+
+@stage_fn(version=1)
+def consume(ctx):
+    return ctx.inputs["up"] * ctx.params.get("scale", 1)
+
+
+@stage_fn(version=2)
+def produce_v2(ctx):
+    return ctx.params["value"]
+
+
+def _chain(value=1, scale=1, dataset=None):
+    g = Graph()
+    g.add("a", produce, params={"value": value})
+    g.add(
+        "b",
+        consume,
+        params={"scale": scale},
+        inputs=[("up", "a")],
+        dataset=dataset,
+    )
+    return g
+
+
+def test_fn_path_roundtrip():
+    path = fn_path(produce)
+    assert path == "tests.graph.test_stage:produce"
+    assert resolve_fn(path) is produce
+
+
+def test_fingerprints_are_deterministic():
+    assert _chain().fingerprints(None) == _chain().fingerprints(None)
+
+
+def test_param_change_invalidates_stage_and_cascades():
+    base = _chain(value=1).fingerprints(None)
+    changed = _chain(value=2).fingerprints(None)
+    assert base["a"] != changed["a"]
+    assert base["b"] != changed["b"]  # downstream cone invalidated
+
+
+def test_downstream_param_change_does_not_touch_upstream():
+    base = _chain(scale=1).fingerprints(None)
+    changed = _chain(scale=3).fingerprints(None)
+    assert base["a"] == changed["a"]
+    assert base["b"] != changed["b"]
+
+
+def test_code_version_bump_invalidates():
+    g1, g2 = Graph(), Graph()
+    g1.add("a", produce, params={"value": 1})
+    g2.add("a", produce_v2, params={"value": 1})
+    assert g1.fingerprints(None)["a"] != g2.fingerprints(None)["a"]
+
+
+def test_campaign_fingerprint_binds_dataset_stages_only():
+    fp1 = _chain(dataset="MILC-128").fingerprints("campA")
+    fp2 = _chain(dataset="MILC-128").fingerprints("campB")
+    assert fp1["a"] == fp2["a"]  # campaign-free stage is campaign-blind
+    assert fp1["b"] != fp2["b"]  # dataset-bound stage folds the campaign in
+
+
+def test_different_dataset_different_fingerprint():
+    fp1 = _chain(dataset="MILC-128").fingerprints("camp")
+    fp2 = _chain(dataset="AMG-128").fingerprints("camp")
+    assert fp1["b"] != fp2["b"]
+
+
+def test_identical_readd_is_shared_conflicting_readd_raises():
+    g = _chain()
+    g.add("a", produce, params={"value": 1})  # no-op: same definition
+    assert len(g.stages) == 2
+    with pytest.raises(ValueError, match="conflicting definitions"):
+        g.add("a", produce, params={"value": 99})
+
+
+def test_unknown_input_rejected():
+    g = Graph()
+    with pytest.raises(ValueError, match="unknown"):
+        g.add("b", consume, inputs=[("up", "ghost")])
+
+
+def test_campaign_stages_run_locally():
+    g = Graph()
+    g.add("a", produce, params={"value": 1}, campaign=True)
+    assert g.stages["a"].local

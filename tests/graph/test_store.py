@@ -1,0 +1,125 @@
+"""ArtifactStore: roundtrip, corruption, concurrency, and the toggle."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.graph import MISS, ArtifactStore
+
+
+@pytest.fixture()
+def store(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_ARTIFACT_CACHE", "1")
+    return ArtifactStore(root=tmp_path / "artifacts")
+
+
+def test_roundtrip_preserves_bytes(store):
+    payload = {"x": np.arange(12.0).reshape(3, 4), "names": ["a", "b"]}
+    store.save("grp", "abc123", payload)
+    assert store.has("grp", "abc123")
+    loaded = store.load("grp", "abc123")
+    assert loaded["x"].tobytes() == payload["x"].tobytes()
+    assert loaded["names"] == payload["names"]
+
+
+def test_none_is_a_value_not_a_miss(store):
+    store.save("grp", "feedbeef", None)
+    assert store.load("grp", "feedbeef") is None
+    assert store.load("grp", "0000000000000000") is MISS
+
+
+def test_corrupt_entry_is_warned_discarded_and_recomputed(store):
+    store.save("grp", "abc123", [1, 2, 3])
+    path = store.path("grp", "abc123")
+
+    data = bytearray(path.read_bytes())
+    data[-1] ^= 0xFF  # flip a payload bit: digest check must fail
+    path.write_bytes(bytes(data))
+
+    with pytest.warns(RuntimeWarning, match="discarding corrupt artifact"):
+        assert store.load("grp", "abc123") is MISS
+    assert not path.exists()  # discarded: the next save replaces it
+    store.save("grp", "abc123", [1, 2, 3])
+    assert store.load("grp", "abc123") == [1, 2, 3]
+
+
+def test_truncated_entry_is_a_miss(store):
+    store.save("grp", "abc123", list(range(100)))
+    path = store.path("grp", "abc123")
+    path.write_bytes(path.read_bytes()[:40])
+    with pytest.warns(RuntimeWarning):
+        assert store.load("grp", "abc123") is MISS
+
+
+def test_garbage_header_is_a_miss(store):
+    path = store.path("grp", "abc123")
+    path.parent.mkdir(parents=True)
+    path.write_bytes(b"not an artifact at all")
+    with pytest.warns(RuntimeWarning):
+        assert store.load("grp", "abc123") is MISS
+
+
+def test_disabled_store_never_reads_or_writes(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_ARTIFACT_CACHE", "0")
+    store = ArtifactStore(root=tmp_path / "artifacts")
+    assert not store.enabled
+    store.save("grp", "abc123", [1])
+    assert not store.has("grp", "abc123")
+    assert store.load("grp", "abc123") is MISS
+    assert not (tmp_path / "artifacts").exists()
+
+    # An entry written by an enabled store is invisible to a disabled one.
+    enabled = ArtifactStore(root=tmp_path / "artifacts", enabled=True)
+    enabled.save("grp", "abc123", [1])
+    assert store.load("grp", "abc123") is MISS
+
+
+_WRITER = """
+import pickle, sys
+from repro.graph import ArtifactStore
+
+root, tag = sys.argv[1], sys.argv[2]
+store = ArtifactStore(root=root, enabled=True)
+for i in range(25):
+    store.save("grp", "abc123", {"tag": tag, "i": i, "pad": list(range(500))})
+"""
+
+
+def test_concurrent_writers_never_corrupt(store, tmp_path):
+    """Two processes hammering one entry: readers see complete values only."""
+    procs = [
+        subprocess.Popen(
+            [sys.executable, "-c", _WRITER, str(store.root), tag],
+            stderr=subprocess.PIPE,
+        )
+        for tag in ("a", "b")
+    ]
+    # Read concurrently while both writers race.
+    seen = []
+    while any(p.poll() is None for p in procs):
+        value = store.load("grp", "abc123")
+        if value is not MISS:
+            seen.append(value)
+    for p in procs:
+        assert p.wait() == 0, p.stderr.read().decode()
+
+    final = store.load("grp", "abc123")
+    for value in seen + [final]:
+        assert value["tag"] in ("a", "b")
+        assert value["pad"] == list(range(500))
+    leftovers = [p for p in store.root.rglob("*.tmp*")]
+    assert not leftovers
+
+
+def test_write_failure_degrades_to_warning(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_ARTIFACT_CACHE", "1")
+    root = tmp_path / "artifacts"
+    root.write_text("a file where the store root should be")
+    store = ArtifactStore(root=root)
+    with pytest.warns(RuntimeWarning, match="artifact write failed"):
+        assert store.save("grp", "abc123", [1]) is False
+    assert store.load("grp", "abc123") is MISS
