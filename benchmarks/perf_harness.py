@@ -41,9 +41,15 @@ from repro.features import clear_feature_caches
 from repro.parallel import shutdown_pool
 
 #: Drivers worth gating: the RFE sweep (fig09), both ablation grids
-#: (fig08/fig10), the per-dataset MI table (table03), and the warm
-#: second `all` pass (the stage graph's near-pure cache read).
-BENCHES = ["fig09", "fig08", "fig10", "table03", "warm_all"]
+#: (fig08/fig10), the per-dataset MI table (table03), the warm second
+#: `all` pass (the stage graph's near-pure cache read), and cold
+#: campaign generation on a non-default (topology, routing) cell.
+BENCHES = ["fig09", "fig08", "fig10", "table03", "warm_all", "campaign_cold"]
+
+#: The cell ``campaign_cold`` generates on.  Pinned off the default so
+#: the scenario times the registry-built path (Dragonfly+ geometry +
+#: pinned-Valiant solve) and never touches the shared default cache.
+CAMPAIGN_COLD_CELL = ("df+", "valiant")
 
 
 def calibrate() -> float:
@@ -125,6 +131,65 @@ def bench_warm_all(campaign, fast: bool, fingerprint: str) -> dict:
     }
 
 
+def bench_campaign_cold(fast: bool, worker_counts: list[int]) -> dict:
+    """Time cold campaign generation on :data:`CAMPAIGN_COLD_CELL`.
+
+    ``use_cache=False`` keeps every timed run a full generation (no disk
+    reads or writes), so the number tracks the scheduler + routing +
+    congestion-solve pipeline itself — on the non-default cell, where a
+    geometry or registry regression would not be masked by the
+    default-cell caches the other scenarios lean on.
+    """
+    import dataclasses
+
+    from repro.campaign.runner import run_campaign as gen
+
+    topology, routing = CAMPAIGN_COLD_CELL
+    cfg = dataclasses.replace(
+        experiment_config(fast),
+        topology=topology,
+        routing=routing,
+        use_cache=False,
+    )
+    fingerprint = cfg.fingerprint()
+    calibration = calibrate()
+    runs = []
+    for workers in worker_counts:
+        shutdown_pool()
+        os.environ["REPRO_WORKERS"] = str(workers)
+        try:
+            t0 = time.perf_counter()
+            gen(cfg)
+            wall = time.perf_counter() - t0
+        finally:
+            os.environ.pop("REPRO_WORKERS", None)
+        runs.append(
+            {
+                "workers": workers,
+                "wall_s": round(wall, 4),
+                "normalized_wall": round(wall / calibration, 4),
+            }
+        )
+        print(f"  campaign_cold workers={workers}: {wall:.2f}s "
+              f"({wall / calibration:.1f}x calibration)")
+    serial = next((r for r in runs if r["workers"] == 1), runs[0])
+    fastest = min(runs, key=lambda r: r["wall_s"])
+    return {
+        "name": "campaign_cold",
+        "mode": "fast" if fast else "full",
+        "cell": f"{topology}/{routing}",
+        "dataset_fingerprint": fingerprint,
+        "cpu_count": os.cpu_count(),
+        "calibration_s": round(calibration, 4),
+        "runs": runs,
+        "serial_normalized_wall": serial["normalized_wall"],
+        "best_speedup_vs_serial": round(
+            serial["wall_s"] / fastest["wall_s"], 3
+        ),
+        "best_speedup_workers": fastest["workers"],
+    }
+
+
 def bench_one(
     name: str, campaign, fast: bool, worker_counts: list[int], fingerprint: str
 ) -> dict:
@@ -179,10 +244,18 @@ def main(argv: list[str] | None = None) -> int:
     fingerprint = cfg.fingerprint()
     print(f"campaign {fingerprint} (mode={'fast' if args.fast else 'full'}, "
           f"cpu_count={os.cpu_count()})")
-    campaign = run_campaign(cfg, progress=True)
+    # campaign_cold generates its own (non-default-cell) campaign; don't
+    # pay for the default one unless another scenario needs it.
+    campaign = (
+        run_campaign(cfg, progress=True)
+        if set(benches) - {"campaign_cold"}
+        else None
+    )
 
     for name in benches:
-        if name == "warm_all":
+        if name == "campaign_cold":
+            result = bench_campaign_cold(args.fast, worker_counts)
+        elif name == "warm_all":
             result = bench_warm_all(campaign, args.fast, fingerprint)
         else:
             # Warm pass: campaign-independent one-time costs (imports, disk

@@ -41,9 +41,36 @@ def main(argv: list[str] | None = None) -> int:
         "the REPRO_WORKERS environment variable; output is bit-identical "
         "for any value)",
     )
+    parser.add_argument(
+        "--topology",
+        default=None,
+        metavar="NAME",
+        help="network topology (registry name or alias, e.g. dragonfly, "
+        "df+); default: dragonfly",
+    )
+    parser.add_argument(
+        "--routing",
+        default=None,
+        metavar="NAME",
+        help="routing policy (ugal, minimal, valiant or alias); "
+        "default: ugal",
+    )
     args = parser.parse_args(argv)
     configure_logging()
-    cfg = CampaignConfig.tiny() if args.fast else CampaignConfig.small()
+    axis = {}
+    if args.topology is not None or args.routing is not None:
+        from repro.campaign.validate import validate_axis
+
+        try:
+            topo, routing = validate_axis(
+                args.topology or "dragonfly", args.routing or "ugal"
+            )
+        except ValueError as exc:
+            parser.error(str(exc))
+        axis = {"topology": topo, "routing": routing}
+    cfg = (
+        CampaignConfig.tiny(**axis) if args.fast else CampaignConfig.small(**axis)
+    )
     if args.workers is not None:
         import dataclasses
         import os
@@ -67,6 +94,8 @@ def main(argv: list[str] | None = None) -> int:
     # output proper and stay on stdout; generation progress arrives as
     # log records (see campaign/runner.py).
     print(f"campaign fingerprint: {cfg.fingerprint()}")
+    if axis:
+        print(f"campaign cell: {cfg.cell_id}")
     print(render_summary(summarize_campaign(campaign)))
     print(f"ground-truth aggressors: {campaign.ground_truth_aggressors}")
     if args.validate:

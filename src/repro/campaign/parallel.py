@@ -45,7 +45,8 @@ from repro.parallel import WorkerPool, WorkerPoolError, chunked
 from repro.system.users import UserPopulation
 from repro.telemetry.ariesncl import AriesNCL
 from repro.telemetry.mpip import profile_run
-from repro.topology.dragonfly import DragonflyTopology
+from repro.topology.base import Topology
+from repro.topology.registry import build_topology
 
 __all__ = [
     "CampaignPool",
@@ -138,7 +139,7 @@ class WorkerEnv:
     def __init__(
         self,
         config,
-        topology: DragonflyTopology | None = None,
+        topology: Topology | None = None,
         engine: CongestionEngine | None = None,
         sampler: LDMSSampler | None = None,
         population: UserPopulation | None = None,
@@ -148,14 +149,13 @@ class WorkerEnv:
 
         self.config = config
         self.seed = config.seed
-        self.topology = topology or DragonflyTopology(
-            groups=config.preset.groups,
-            row_size=config.preset.rows,
-            col_size=config.preset.cols,
-            nodes_per_router=config.preset.nodes_per_router,
-            io_groups=config.preset.io_groups,
+        # Rebuild the campaign's (topology, routing) cell through the
+        # registry so subprocess workers solve the same network as the
+        # parent runner.
+        self.topology = topology or build_topology(config.topology, config.preset)
+        self.engine = engine or CongestionEngine(
+            self.topology, policy=config.routing
         )
-        self.engine = engine or CongestionEngine(self.topology)
         self.sampler = sampler or LDMSSampler(self.topology)
         self.population = population or UserPopulation.cori_like(
             node_scale=config.node_scale

@@ -70,8 +70,14 @@ from repro.system.scheduler import Scheduler
 from repro.system.users import UserPopulation
 from repro.system.workload import DAY, BackgroundWorkloadGenerator
 from repro.telemetry.sacct import SacctLog
-from repro.topology.dragonfly import DragonflyTopology
+from repro.topology.base import Topology
 from repro.topology.placement import job_routers
+from repro.topology.registry import (
+    DEFAULT_CELL,
+    build_topology,
+    canonical_routing,
+    canonical_topology,
+)
 from repro.topology.routing import Incidence
 
 #: Cori's KNL partition size; background job sizes scale relative to it.
@@ -154,6 +160,16 @@ class CampaignConfig:
     #: bit-identical datasets, so this knob is *not* part of the
     #: fingerprint.
     workers: int | None = None
+    #: The campaign's network cell on the (topology, routing) axis; names
+    #: resolve through :mod:`repro.topology.registry` (aliases accepted).
+    topology: str = DEFAULT_CELL[0]
+    routing: str = DEFAULT_CELL[1]
+
+    def __post_init__(self) -> None:
+        # Canonicalise the cell so aliases ("df", "adaptive", ...) and the
+        # canonical names fingerprint identically.
+        object.__setattr__(self, "topology", canonical_topology(self.topology))
+        object.__setattr__(self, "routing", canonical_routing(self.routing))
 
     # ------------------------------------------------------------------ #
 
@@ -189,29 +205,42 @@ class CampaignConfig:
         (paper uses 128 nodes on Cori, §V-A)."""
         return max(8, int(round(128 * self.node_scale)))
 
+    @property
+    def cell(self) -> tuple[str, str]:
+        """The canonical ``(topology, routing)`` pair."""
+        return (self.topology, self.routing)
+
+    @property
+    def cell_id(self) -> str:
+        """The cell rendered as an id string (``dragonfly/ugal``)."""
+        return f"{self.topology}/{self.routing}"
+
     def fingerprint(self) -> str:
-        payload = json.dumps(
-            {
-                "v": _PIPELINE_VERSION,
-                "fmt": CACHE_FORMAT_VERSION,
-                "preset": [
-                    self.preset.groups,
-                    self.preset.rows,
-                    self.preset.cols,
-                    self.preset.nodes_per_router,
-                    self.preset.io_groups,
-                ],
-                "days": self.days,
-                "seed": self.seed,
-                "keys": list(self.dataset_keys),
-                "ppd": list(self.probes_per_day),
-                "bg": self.background_intensity,
-                "util": self.target_utilization,
-                "long": [list(x) for x in self.long_runs],
-            },
-            sort_keys=True,
-        )
-        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+        payload = {
+            "v": _PIPELINE_VERSION,
+            "fmt": CACHE_FORMAT_VERSION,
+            "preset": [
+                self.preset.groups,
+                self.preset.rows,
+                self.preset.cols,
+                self.preset.nodes_per_router,
+                self.preset.io_groups,
+            ],
+            "days": self.days,
+            "seed": self.seed,
+            "keys": list(self.dataset_keys),
+            "ppd": list(self.probes_per_day),
+            "bg": self.background_intensity,
+            "util": self.target_utilization,
+            "long": [list(x) for x in self.long_runs],
+        }
+        # The default cell omits the key entirely so pre-axis fingerprints
+        # (cached campaigns, CI caches, bench baselines) stay valid.
+        if self.cell != DEFAULT_CELL:
+            payload["cell"] = [self.topology, self.routing]
+        return hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode()
+        ).hexdigest()[:16]
 
 
 # --------------------------------------------------------------------------- #
@@ -275,7 +304,7 @@ class ProbeRunContext:
     def __init__(
         self,
         app: Application,
-        topology: DragonflyTopology,
+        topology: Topology,
         engine: CongestionEngine,
         nodes: np.ndarray,
         step_model: StepModel,
@@ -343,7 +372,12 @@ class ProbeRunContext:
         u_val = np.maximum(
             self.seg_val_edge(util0), MID_HOP_DISCOUNT * self.seg_val_mid(util0)
         )
-        alpha_f = np.clip(a0 + eng.ugal_gain * (u_val - u_min), 0.25, 0.98)
+        if eng.pinned:
+            # Pinned policies fix the split exactly (the UGAL clip band
+            # must not pull a pure-minimal/pure-Valiant split inward).
+            alpha_f = np.full(len(u_min), a0)
+        else:
+            alpha_f = np.clip(a0 + eng.ugal_gain * (u_val - u_min), 0.25, 0.98)
         a = float(alpha_f @ self.vol_weights) if len(alpha_f) else a0
 
         loads = base.link_loads + s * (a * self.load_min + (1 - a) * self.load_val)
@@ -391,7 +425,7 @@ class BackgroundTrafficModel:
 
     def __init__(
         self,
-        topology: DragonflyTopology,
+        topology: Topology,
         engine: CongestionEngine,
         population: UserPopulation,
         intensity: float,
@@ -624,7 +658,7 @@ class _ContributionStore:
     requested job before returning.
     """
 
-    def __init__(self, topology: DragonflyTopology, loader) -> None:
+    def __init__(self, topology: Topology, loader) -> None:
         self.topology = topology
         self._loader = loader
         self._cache: dict[int, tuple[BaseLoad, BaseLoad]] = {}
@@ -687,14 +721,8 @@ class CampaignRunner:
 
     def __init__(self, config: CampaignConfig) -> None:
         self.config = config
-        self.topology = DragonflyTopology(
-            groups=config.preset.groups,
-            row_size=config.preset.rows,
-            col_size=config.preset.cols,
-            nodes_per_router=config.preset.nodes_per_router,
-            io_groups=config.preset.io_groups,
-        )
-        self.engine = CongestionEngine(self.topology)
+        self.topology = build_topology(config.topology, config.preset)
+        self.engine = CongestionEngine(self.topology, policy=config.routing)
         self.sampler = LDMSSampler(self.topology)
         self.population = UserPopulation.cori_like(node_scale=config.node_scale)
 

@@ -4,7 +4,9 @@ Experiments run over a shared, memoized stage graph: a repeated
 invocation reuses every stored artifact (``--force`` bypasses them) and
 ``--explain`` prints the resolved DAG with per-stage hit/miss status
 instead of executing it.  Parameterised ids take an argument after a
-colon, e.g. ``fig07:MILC-512``.
+colon, e.g. ``fig07:MILC-512``.  A ``topology/routing`` cell can be
+appended to run over a different network: ``fig09:df+/valiant``,
+``fig07:MILC-512@df+/minimal`` (see ``repro.topology.registry``).
 """
 
 from __future__ import annotations
@@ -30,7 +32,8 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "experiment",
         help="experiment id (see DESIGN.md §5), optionally with an "
-        "argument (fig07:MILC-512), or 'all'",
+        "argument (fig07:MILC-512) and/or a topology/routing cell "
+        "(fig09:df+/valiant, fig07:MILC-512@df+/minimal), or 'all'",
     )
     parser.add_argument(
         "--fast",
@@ -71,6 +74,12 @@ def main(argv: list[str] | None = None) -> int:
                 f"unknown experiment {base!r}; expected one of "
                 f"{sorted(EXPERIMENTS) + ['all']}"
             )
+        try:
+            from repro.experiments import split_cell
+
+            split_cell(args.experiment)
+        except ValueError as exc:
+            parser.error(str(exc))
         ids = [args.experiment]
     if args.explain:
         print(explain_experiments(ids, fast=args.fast, force=args.force))

@@ -60,17 +60,31 @@ def clear_cache() -> None:
     clear_feature_caches()
 
 
-def experiment_config(fast: bool = False) -> CampaignConfig:
+def experiment_config(
+    fast: bool = False, cell: tuple[str, str] | None = None
+) -> CampaignConfig:
+    """The campaign config for the scale and (topology, routing) cell.
+
+    ``cell=None`` is the default cell — its config (and fingerprint) is
+    identical to the pre-axis one, so existing caches stay warm.
+    """
+    overrides = {}
+    if cell is not None:
+        overrides = {"topology": cell[0], "routing": cell[1]}
     if resolve_fast(fast):
-        return CampaignConfig.tiny()
-    return CampaignConfig.small()
+        return CampaignConfig.tiny(**overrides)
+    return CampaignConfig.small(**overrides)
 
 
-def get_campaign(campaign: Campaign | None = None, fast: bool = False) -> Campaign:
+def get_campaign(
+    campaign: Campaign | None = None,
+    fast: bool = False,
+    cell: tuple[str, str] | None = None,
+) -> Campaign:
     """The campaign to analyse: supplied, cached in-process, or generated."""
     if campaign is not None:
         return campaign
-    cfg = experiment_config(fast)
+    cfg = experiment_config(fast, cell)
     key = cfg.fingerprint()
     if key in _CACHE:
         METRICS.counter("experiments.campaign.memo_hits").inc()
@@ -111,12 +125,23 @@ class ExperimentContext:
       campaign/dataset-bound stage triggers generation.
     """
 
-    def __init__(self, campaign: Campaign | None = None, fast: bool = False) -> None:
+    def __init__(
+        self,
+        campaign: Campaign | None = None,
+        fast: bool = False,
+        cell: tuple[str, str] | None = None,
+    ) -> None:
         from repro.graph import ArtifactStore
 
         self.fast = resolve_fast(fast)
+        self.cell = cell
         self._campaign = campaign
         if campaign is not None:
+            if cell is not None:
+                raise ValueError(
+                    "a supplied campaign fixes the (topology, routing) "
+                    "cell; it cannot be combined with a cell-qualified id"
+                )
             fp = None
             for ds in campaign.datasets.values():
                 fp = getattr(ds, "campaign_fingerprint", None)
@@ -124,14 +149,16 @@ class ExperimentContext:
             self.campaign_fingerprint = fp
             self.store = ArtifactStore(enabled=False if fp is None else None)
         else:
-            self.campaign_fingerprint = experiment_config(self.fast).fingerprint()
+            self.campaign_fingerprint = experiment_config(
+                self.fast, cell
+            ).fingerprint()
             self.store = ArtifactStore()
         self._manifest: dict | None = None
 
     def campaign(self) -> Campaign:
         """Materialise the campaign (generate/load it if not supplied)."""
         if self._campaign is None:
-            self._campaign = get_campaign(None, self.fast)
+            self._campaign = get_campaign(None, self.fast, self.cell)
         return self._campaign
 
     @property

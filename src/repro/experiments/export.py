@@ -96,15 +96,18 @@ def export_result(result: ExperimentResult, out_dir: Path | str) -> list[Path]:
         with path.open("w", newline="") as fh:
             csv.writer(fh).writerows(rows)
 
-    _attempt(out_dir / f"{result.exp_id}.json", _write_json)
+    # Cell-qualified ids ("fig09:df+/valiant") contain a path separator;
+    # flatten it so every export lands directly in out_dir.
+    stem = result.exp_id.replace("/", "-")
+    _attempt(out_dir / f"{stem}.json", _write_json)
     _attempt(
-        out_dir / f"{result.exp_id}.txt",
+        out_dir / f"{stem}.txt",
         lambda path: path.write_text(result.render() + "\n"),
     )
 
     rows = result.data.get("rows")
     if isinstance(rows, list) and rows and isinstance(rows[0], (list, tuple)):
-        _attempt(out_dir / f"{result.exp_id}.csv", _write_csv)
+        _attempt(out_dir / f"{stem}.csv", _write_csv)
 
     if errors:
         raise ExportError(result.exp_id, errors, written)

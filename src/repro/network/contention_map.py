@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.network.engine import CongestionEngine, RoutedTraffic
-from repro.topology.dragonfly import DragonflyTopology, LinkKind
+from repro.topology.base import Topology
 
 
 @dataclass
@@ -52,7 +52,7 @@ class ContentionMap:
 
 
 def contention_map(
-    topology: DragonflyTopology,
+    topology: Topology,
     engine: CongestionEngine,
     tenants: dict[str, RoutedTraffic],
     top_n: int = 10,
@@ -101,7 +101,7 @@ def contention_map(
         hot.append(
             HotLink(
                 link_id=lid,
-                kind=LinkKind(int(topology.link_kind[lid])).name.lower(),
+                kind=type(topology).link_kinds(int(topology.link_kind[lid])).name.lower(),
                 src_router=int(src[lid]),
                 dst_router=int(dst[lid]),
                 utilisation=float(util[lid]),

@@ -37,8 +37,9 @@ from repro.config import (
     ROUTER_CLOCK_HZ,
 )
 from repro.network.traffic import FlowSet
-from repro.topology.dragonfly import DragonflyTopology
-from repro.topology.routing import AdaptiveRouter, FlowRouting
+from repro.topology.base import Topology
+from repro.topology.registry import routing_spec
+from repro.topology.routing import FlowRouting, PathExpander
 
 #: Fraction of stall-capable cycles actually observed as stalls at u -> 1
 #: (calibration constant for counter magnitudes, not behaviour).
@@ -62,6 +63,16 @@ class RoutingPolicy(enum.Enum):
     MINIMAL = "minimal"
     #: Always Valiant — balanced but pays double the global hops.
     VALIANT = "valiant"
+
+
+#: Legacy enum <-> registry routing-policy names (the registry's canonical
+#: vocabulary is the campaign axis; the enum remains for existing callers).
+_POLICY_TO_NAME = {
+    RoutingPolicy.ADAPTIVE: "ugal",
+    RoutingPolicy.MINIMAL: "minimal",
+    RoutingPolicy.VALIANT: "valiant",
+}
+_NAME_TO_POLICY = {name: pol for pol, name in _POLICY_TO_NAME.items()}
 
 
 def stall_curve(util: np.ndarray) -> np.ndarray:
@@ -104,7 +115,7 @@ class BaseLoad:
     vc4: np.ndarray
 
     @staticmethod
-    def zeros(topology: DragonflyTopology) -> "BaseLoad":
+    def zeros(topology: Topology) -> "BaseLoad":
         r = topology.num_routers
         return BaseLoad(
             link_loads=np.zeros(topology.num_links),
@@ -159,7 +170,7 @@ class FlowMetrics:
 class NetworkState:
     """Solved network condition for one interval."""
 
-    topology: DragonflyTopology
+    topology: Topology
     link_loads: np.ndarray
     inj: np.ndarray
     ej: np.ndarray
@@ -225,16 +236,16 @@ class NetworkState:
 
 
 class CongestionEngine:
-    """Routes and solves traffic over one dragonfly topology."""
+    """Routes and solves traffic over one registered topology."""
 
     def __init__(
         self,
-        topology: DragonflyTopology,
-        router: AdaptiveRouter | None = None,
+        topology: Topology,
+        router: PathExpander | None = None,
         alpha0: float = 0.85,
         ugal_gain: float = 4.0,
         iterations: int = 2,
-        policy: RoutingPolicy = RoutingPolicy.ADAPTIVE,
+        policy: RoutingPolicy | str = RoutingPolicy.ADAPTIVE,
     ) -> None:
         """
         Parameters
@@ -242,8 +253,8 @@ class CongestionEngine:
         topology:
             The network.
         router:
-            Path expander; a default :class:`AdaptiveRouter` is built if
-            omitted.
+            Path expander; defaults to the topology's own
+            (:meth:`~repro.topology.base.Topology.default_router`).
         alpha0:
             Initial minimal-routing fraction (UGAL biases minimal).
         ugal_gain:
@@ -252,17 +263,24 @@ class CongestionEngine:
         iterations:
             Fixed-point iterations for the adaptive split.
         policy:
-            Routing-policy ablation knob; MINIMAL/VALIANT pin the split.
+            Routing policy: a registry name (``ugal``/``minimal``/
+            ``valiant`` or alias) or a legacy :class:`RoutingPolicy`
+            member.  Pinned policies fix the split and skip the adaptive
+            iterations.
         """
         self.topology = topology
-        self.router = router or AdaptiveRouter(topology)
+        self.router = router or topology.default_router()
+        if isinstance(policy, str):
+            spec = routing_spec(policy)
+            policy = _NAME_TO_POLICY[spec.name]
         self.policy = policy
-        if policy is RoutingPolicy.MINIMAL:
-            alpha0 = 1.0
-        elif policy is RoutingPolicy.VALIANT:
-            alpha0 = 0.0
+        self.policy_name = _POLICY_TO_NAME[policy]
+        spec = routing_spec(self.policy_name)
+        self.pinned = spec.pinned
+        if spec.pinned:
+            alpha0 = spec.pinned_alpha
         self.alpha0 = alpha0
-        self.ugal_gain = ugal_gain if policy is RoutingPolicy.ADAPTIVE else 0.0
+        self.ugal_gain = ugal_gain if not spec.pinned else 0.0
         self.iterations = iterations
 
     # ------------------------------------------------------------------ #

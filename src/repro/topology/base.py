@@ -1,0 +1,165 @@
+"""The ``Topology`` protocol: what every network implementation provides.
+
+The congestion engine, traffic builders, scheduler, LDMS sampler and
+placement features never ask *which* network they run on — they consume
+the surface defined here: canonically indexed directed links with
+per-link capacities and kinds, router/node index arithmetic, and the
+compute/I-O node pools.  A topology implementation supplies
+
+* the link tables (:attr:`link_capacity`, :attr:`link_kind`,
+  :attr:`link_endpoints`) over its own canonical link-id scheme;
+* the node ↔ router mapping (:meth:`node_router`, :meth:`router_nodes`)
+  and the I/O pool roots (:attr:`io_routers`);
+* a :meth:`default_router` building the path expander that turns flows
+  into weighted link incidences for this geometry.
+
+Group-major router numbering is part of the contract: router ids within
+group *g* occupy ``[g * routers_per_group, (g+1) * routers_per_group)``
+so consumers can recover a router's group with one integer division.
+
+Implementations register themselves in :mod:`repro.topology.registry`,
+which makes ``(topology, routing)`` an addressable campaign axis.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from functools import cached_property
+from typing import TYPE_CHECKING, ClassVar
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.config import ScalePreset
+
+
+class Topology(abc.ABC):
+    """Abstract base of every network geometry (see module docstring).
+
+    Subclass ``__init__`` must set the integer shape attributes
+    (``groups``, ``routers_per_group``, ``nodes_per_router``,
+    ``num_routers``, ``num_nodes``, ``num_links``, ``io_groups``) before
+    any of the shared helpers below are used.
+    """
+
+    #: Registry name of the geometry family (``dragonfly``, ``df+``, ...).
+    kind: ClassVar[str] = ""
+    #: The link-class enum of this geometry, in canonical id order.
+    link_kinds: ClassVar[type[enum.IntEnum]]
+
+    groups: int
+    routers_per_group: int
+    nodes_per_router: int
+    num_routers: int
+    num_nodes: int
+    num_links: int
+    io_groups: int
+
+    # ------------------------------------------------------------------ #
+    # Abstract surface
+    # ------------------------------------------------------------------ #
+
+    @classmethod
+    @abc.abstractmethod
+    def from_preset(cls, preset: "ScalePreset | str | None" = None) -> "Topology":
+        """Build this geometry from a :class:`~repro.config.ScalePreset`."""
+
+    @abc.abstractmethod
+    def default_router(self, **kwargs) -> object:
+        """The path expander for this geometry (see
+        :class:`repro.topology.routing.PathExpander`)."""
+
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """One-line human-readable summary of the topology."""
+
+    @property
+    @abc.abstractmethod
+    def link_capacity(self) -> np.ndarray:
+        """Per-link capacity in bytes/second (``num_links`` floats)."""
+
+    @property
+    @abc.abstractmethod
+    def link_kind(self) -> np.ndarray:
+        """Per-link :attr:`link_kinds` value (int8 vector)."""
+
+    @property
+    @abc.abstractmethod
+    def link_endpoints(self) -> tuple[np.ndarray, np.ndarray]:
+        """(src_router, dst_router) arrays for every directed link id."""
+
+    @property
+    @abc.abstractmethod
+    def io_routers(self) -> np.ndarray:
+        """Routers hosting I/O (LNET) nodes."""
+
+    # ------------------------------------------------------------------ #
+    # Shared arithmetic (identical across geometries by construction)
+    # ------------------------------------------------------------------ #
+
+    def router_group(self, router: np.ndarray | int) -> np.ndarray | int:
+        """Group index of each router (group-major numbering)."""
+        return np.asarray(router) // self.routers_per_group if isinstance(
+            router, np.ndarray
+        ) else router // self.routers_per_group
+
+    def node_router(self, node: np.ndarray | int):
+        """Router to which each node's NIC attaches.
+
+        The default assumes every router hosts ``nodes_per_router``
+        nodes; geometries whose nodes attach to a router subset (e.g.
+        Dragonfly+ leaves) override this.
+        """
+        return np.asarray(node) // self.nodes_per_router if isinstance(
+            node, np.ndarray
+        ) else node // self.nodes_per_router
+
+    def router_nodes(self, router: int) -> np.ndarray:
+        """Nodes attached to one router."""
+        base = router * self.nodes_per_router
+        return np.arange(base, base + self.nodes_per_router)
+
+    @cached_property
+    def io_router_mask(self) -> np.ndarray:
+        mask = np.zeros(self.num_routers, dtype=bool)
+        mask[self.io_routers] = True
+        return mask
+
+    @cached_property
+    def io_nodes(self) -> np.ndarray:
+        """Nodes attached to I/O routers."""
+        if len(self.io_routers) == 0:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(
+            [self.router_nodes(int(r)) for r in self.io_routers]
+        )
+
+    @cached_property
+    def compute_nodes(self) -> np.ndarray:
+        """Nodes available to the batch scheduler (all minus I/O nodes)."""
+        mask = np.ones(self.num_nodes, dtype=bool)
+        mask[self.io_nodes] = False
+        return np.flatnonzero(mask)
+
+    # ------------------------------------------------------------------ #
+    # Validation helpers
+    # ------------------------------------------------------------------ #
+
+    def to_networkx(self):
+        """Export the router graph (for validation / tests only)."""
+        import networkx as nx
+
+        g = nx.MultiDiGraph()
+        g.add_nodes_from(range(self.num_routers))
+        src, dst = self.link_endpoints
+        kind = self.link_kind
+        kinds = type(self).link_kinds
+        for lid in range(self.num_links):
+            g.add_edge(
+                int(src[lid]), int(dst[lid]), kind=kinds(int(kind[lid])).name
+            )
+        return g
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.describe()}>"

@@ -42,6 +42,7 @@ from repro.config import (
     ScalePreset,
     get_preset,
 )
+from repro.topology.base import Topology
 
 
 class LinkKind(enum.IntEnum):
@@ -61,7 +62,7 @@ class RouterCoord:
     pos: int
 
 
-class DragonflyTopology:
+class DragonflyTopology(Topology):
     """A Cray-XC-style dragonfly network.
 
     Parameters
@@ -83,6 +84,9 @@ class DragonflyTopology:
     io_groups:
         Number of groups whose grid column 0 hosts I/O routers.
     """
+
+    kind = "dragonfly"
+    link_kinds = LinkKind
 
     def __init__(
         self,
@@ -154,15 +158,15 @@ class DragonflyTopology:
             io_groups=preset.io_groups,
         )
 
+    def default_router(self, **kwargs):
+        """The UGAL-style minimal/Valiant path expander for this geometry."""
+        from repro.topology.routing import AdaptiveRouter
+
+        return AdaptiveRouter(self, **kwargs)
+
     # ------------------------------------------------------------------ #
     # Router coordinate arithmetic (all vectorised)
     # ------------------------------------------------------------------ #
-
-    def router_group(self, router: np.ndarray | int) -> np.ndarray | int:
-        """Group index of each router."""
-        return np.asarray(router) // self.routers_per_group if isinstance(
-            router, np.ndarray
-        ) else router // self.routers_per_group
 
     def router_row(self, router: np.ndarray | int):
         """Grid-row index (0..col_size-1) of each router."""
@@ -192,19 +196,8 @@ class DragonflyTopology:
         )
 
     # ------------------------------------------------------------------ #
-    # Node <-> router mapping
+    # I/O pool
     # ------------------------------------------------------------------ #
-
-    def node_router(self, node: np.ndarray | int):
-        """Router to which each node's NIC attaches."""
-        return np.asarray(node) // self.nodes_per_router if isinstance(
-            node, np.ndarray
-        ) else node // self.nodes_per_router
-
-    def router_nodes(self, router: int) -> np.ndarray:
-        """Nodes attached to one router."""
-        base = router * self.nodes_per_router
-        return np.arange(base, base + self.nodes_per_router)
 
     @cached_property
     def io_routers(self) -> np.ndarray:
@@ -214,26 +207,6 @@ class DragonflyTopology:
             for row in range(self.col_size):
                 out.append(int(self.router_id(g, row, 0)))
         return np.asarray(out, dtype=np.int64)
-
-    @cached_property
-    def io_router_mask(self) -> np.ndarray:
-        mask = np.zeros(self.num_routers, dtype=bool)
-        mask[self.io_routers] = True
-        return mask
-
-    @cached_property
-    def io_nodes(self) -> np.ndarray:
-        """Nodes attached to I/O routers."""
-        if len(self.io_routers) == 0:
-            return np.empty(0, dtype=np.int64)
-        return np.concatenate([self.router_nodes(int(r)) for r in self.io_routers])
-
-    @cached_property
-    def compute_nodes(self) -> np.ndarray:
-        """Nodes available to the batch scheduler (all minus I/O nodes)."""
-        mask = np.ones(self.num_nodes, dtype=bool)
-        mask[self.io_nodes] = False
-        return np.flatnonzero(mask)
 
     # ------------------------------------------------------------------ #
     # Canonical link-id arithmetic (vectorised; the heart of fast routing)
@@ -351,22 +324,6 @@ class DragonflyTopology:
         dst[self.blue_base + ids] = self.blue_gateway(b, a, chan)
         return src, dst
 
-    # ------------------------------------------------------------------ #
-    # Validation helpers
-    # ------------------------------------------------------------------ #
-
-    def to_networkx(self):
-        """Export the router graph (for validation / tests only)."""
-        import networkx as nx
-
-        g = nx.MultiDiGraph()
-        g.add_nodes_from(range(self.num_routers))
-        src, dst = self.link_endpoints
-        kind = self.link_kind
-        for lid in range(self.num_links):
-            g.add_edge(int(src[lid]), int(dst[lid]), kind=LinkKind(int(kind[lid])).name)
-        return g
-
     def describe(self) -> str:
         """One-line summary of the topology."""
         return (
@@ -375,6 +332,3 @@ class DragonflyTopology:
             f"links={self.num_links} [g{self.num_green}/b{self.num_black}/"
             f"B{self.num_blue}], blue_mult={self.global_multiplicity})"
         )
-
-    def __repr__(self) -> str:  # pragma: no cover - cosmetic
-        return f"<DragonflyTopology {self.describe()}>"

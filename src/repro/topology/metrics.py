@@ -11,17 +11,17 @@ from __future__ import annotations
 import numpy as np
 
 from repro.config import BLUE_LINK_BW
-from repro.topology.dragonfly import DragonflyTopology, LinkKind
+from repro.topology.base import Topology
 
 
-def theoretical_diameter(topology: DragonflyTopology) -> int:
-    """Upper bound on minimal-route hops: 2 intra + blue + 2 intra = 5."""
+def theoretical_diameter(topology: Topology) -> int:
+    """Upper bound on minimal-route hops: 2 intra + global + 2 intra = 5."""
     intra = 0 if topology.routers_per_group == 1 else 2
     return intra + 1 + intra
 
 
 def measured_diameter(
-    topology: DragonflyTopology, samples: int = 200, rng=None
+    topology: Topology, samples: int = 200, rng=None
 ) -> int:
     """Max shortest-path length over sampled router pairs (BFS)."""
     import networkx as nx
@@ -39,12 +39,12 @@ def measured_diameter(
     return worst
 
 
-def bisection_bandwidth(topology: DragonflyTopology) -> float:
-    """Bytes/s crossing a balanced group bisection (blue links only).
+def bisection_bandwidth(topology: Topology) -> float:
+    """Bytes/s crossing a balanced group bisection (global links only).
 
-    Splitting the groups into two halves, only blue links cross; with
-    all-to-all group connectivity the count is ``2 * h1 * h2 *
-    multiplicity`` directed links.
+    Splitting the groups into two halves, only global (blue) links
+    cross; with all-to-all group connectivity the count is ``2 * h1 * h2
+    * multiplicity`` directed links.
     """
     g = topology.groups
     h1 = g // 2
@@ -53,18 +53,18 @@ def bisection_bandwidth(topology: DragonflyTopology) -> float:
     return crossing * BLUE_LINK_BW
 
 
-def per_node_bisection(topology: DragonflyTopology) -> float:
+def per_node_bisection(topology: Topology) -> float:
     """Bisection bytes/s per compute node (capacity-planning figure)."""
     return bisection_bandwidth(topology) / max(topology.num_nodes, 1)
 
 
-def router_radix(topology: DragonflyTopology) -> dict[str, float]:
+def router_radix(topology: Topology) -> dict[str, float]:
     """Ports per router by link class (Aries: 15 green + 5 black + ~10 blue
     + 8 NIC ports on a 48-port router)."""
     src, _ = topology.link_endpoints
     kind = topology.link_kind
     out: dict[str, float] = {}
-    for lk in LinkKind:
+    for lk in type(topology).link_kinds:
         counts = np.bincount(
             src[kind == lk], minlength=topology.num_routers
         )
@@ -74,10 +74,10 @@ def router_radix(topology: DragonflyTopology) -> dict[str, float]:
     return out
 
 
-def path_diversity(topology: DragonflyTopology) -> int:
+def path_diversity(topology: Topology) -> int:
     """Distinct minimal paths between two routers in different groups
-    (per blue channel): up to 2 corner routes on each side of the global
-    hop."""
+    (per global channel): up to 2 corner routes on each side of the
+    global hop."""
     return 2 * 2 * topology.global_multiplicity
 
 

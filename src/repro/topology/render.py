@@ -1,21 +1,24 @@
-"""ASCII rendering of the dragonfly (the paper's Fig. 2, in a terminal).
+"""ASCII rendering of registered topologies (the paper's Fig. 2, in a
+terminal).
 
-Draws one group's router grid with its green/black all-to-all structure
-summarised, and the inter-group blue connectivity, plus an optional
-utilisation overlay from a solved network state.
+For the dragonfly: one group's router grid with its green/black
+all-to-all structure summarised.  For Dragonfly+: one group's leaf/spine
+split.  Both get the inter-group global connectivity summary and an
+optional utilisation overlay from a solved network state; unknown
+geometries degrade gracefully with a "not supported" message instead of
+crashing.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from repro.topology.dragonfly import DragonflyTopology, LinkKind
+from repro.topology.base import Topology
+from repro.topology.dragonfly import DragonflyTopology
+from repro.topology.dragonfly_plus import DragonflyPlusTopology
 
 
-def render_group(topology: DragonflyTopology, group: int = 0) -> str:
-    """One group's router grid with link-class annotations."""
-    if not 0 <= group < topology.groups:
-        raise ValueError("group out of range")
+def _render_dragonfly_group(topology: DragonflyTopology, group: int) -> str:
     lines = [
         f"group {group}: {topology.col_size} rows x {topology.row_size} "
         f"routers, {topology.nodes_per_router} nodes each"
@@ -38,8 +41,50 @@ def render_group(topology: DragonflyTopology, group: int = 0) -> str:
     return "\n".join(lines)
 
 
-def render_group_connectivity(topology: DragonflyTopology) -> str:
-    """Group-level adjacency summary (all-to-all on Cray XC)."""
+def _render_plus_group(topology: DragonflyPlusTopology, group: int) -> str:
+    lines = [
+        f"group {group}: {topology.leaf_size} leaves x {topology.spine_size} "
+        f"spines, {topology.nodes_per_router} nodes per leaf"
+    ]
+    spines = [
+        f"s{int(topology.spine_id(group, s)):04d}"
+        for s in range(topology.spine_size)
+    ]
+    lines.append("  " + "  ".join(spines))
+    lines.append("  " + " | " * max(1, min(topology.spine_size, 12)) + " (bipartite up/down)")
+    leaves = []
+    for leaf in range(topology.leaf_size):
+        r = int(topology.leaf_id(group, leaf))
+        mark = "io" if topology.io_router_mask[r] else "l"
+        leaves.append(f"{mark}{r:04d}")
+    lines.append("  " + "  ".join(leaves))
+    lines.append(
+        f"  every leaf links to every spine ({topology.spine_size} up + "
+        f"{topology.spine_size} down per leaf)"
+    )
+    lines.append(
+        f"  global links to each of {topology.groups - 1} peer groups "
+        f"x{topology.global_multiplicity} (spine-owned)"
+    )
+    return "\n".join(lines)
+
+
+def render_group(topology: Topology, group: int = 0) -> str:
+    """One group's router structure with link-class annotations."""
+    if not 0 <= group < topology.groups:
+        raise ValueError("group out of range")
+    if isinstance(topology, DragonflyTopology):
+        return _render_dragonfly_group(topology, group)
+    if isinstance(topology, DragonflyPlusTopology):
+        return _render_plus_group(topology, group)
+    return (
+        f"group rendering not supported for this topology "
+        f"({type(topology).__name__}); {topology.describe()}"
+    )
+
+
+def render_group_connectivity(topology: Topology) -> str:
+    """Group-level adjacency summary (all-to-all for both geometries)."""
     g = topology.groups
     lines = [f"{g} groups, all-to-all global connectivity:"]
     width = min(g, 16)
@@ -56,14 +101,14 @@ def render_group_connectivity(topology: DragonflyTopology) -> str:
 
 
 def render_utilisation(
-    topology: DragonflyTopology,
+    topology: Topology,
     link_loads: np.ndarray,
     buckets: str = " .:-=+*#%@",
 ) -> str:
     """Per-link-class utilisation histogram as a sparkline summary."""
     util = link_loads / topology.link_capacity
     lines = ["link utilisation by class:"]
-    for kind in LinkKind:
+    for kind in type(topology).link_kinds:
         u = util[topology.link_kind == kind]
         if len(u) == 0:
             continue
@@ -74,7 +119,7 @@ def render_utilisation(
             for h in hist
         )
         lines.append(
-            f"  {kind.name.lower():5s} [{spark}] mean={u.mean():.3f} "
+            f"  {kind.name.lower():6s} [{spark}] mean={u.mean():.3f} "
             f"max={u.max():.3f} ({len(u)} links)"
         )
     return "\n".join(lines)

@@ -20,6 +20,7 @@ NumPy operations regardless of ``n``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Protocol, runtime_checkable
 
 import numpy as np
 
@@ -115,6 +116,31 @@ class FlowRouting:
         return loads
 
 
+@runtime_checkable
+class PathExpander(Protocol):
+    """Flow -> weighted link-incidence expansion for one geometry.
+
+    A path expander owns the *geometry* of routing: it turns router-level
+    flows into a :class:`FlowRouting` holding a minimal and a Valiant
+    (non-minimal) :class:`Incidence`.  The *policy* — how much of each
+    flow travels each set — lives in the congestion engine: pinned
+    policies (``minimal``, ``valiant``) fix the split, while ``ugal``
+    solves the adaptive fixed point.  Topologies return their expander
+    from :meth:`repro.topology.base.Topology.default_router`.
+    """
+
+    topology: object
+
+    def route(
+        self,
+        src_router: np.ndarray,
+        dst_router: np.ndarray,
+        rng: np.random.Generator | None = None,
+    ) -> FlowRouting:
+        """Route flows from ``src_router[i]`` to ``dst_router[i]``."""
+        ...
+
+
 class AdaptiveRouter:
     """Expands router-level flows into minimal + Valiant link incidences."""
 
@@ -205,7 +231,16 @@ class AdaptiveRouter:
 
         # ---- Valiant, inter-group (via intermediate groups) ------------ #
         idx = np.flatnonzero(inter)
-        if len(idx):
+        if len(idx) and topo.groups <= 2:
+            # No third group exists; the Valiant set degenerates to the
+            # minimal route (keeps tiny test topologies from looping).
+            share = np.full(len(idx), 1.0 / self.blue_channels)
+            for t in range(self.blue_channels):
+                chan = (idx + t) % topo.global_multiplicity
+                self._global_hop(
+                    valiant, idx, src[idx], dst[idx], sg[idx], dg[idx], chan, share
+                )
+        elif len(idx):
             k = self.valiant_samples
             share = np.full(len(idx), 1.0 / k)
             for s in range(k):

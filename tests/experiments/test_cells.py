@@ -1,0 +1,105 @@
+"""Cell-qualified experiment ids: parsing, explain headers, e2e runs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import (
+    canonical_exp_id,
+    explain_experiments,
+    run_experiments,
+    split_cell,
+)
+
+
+@pytest.mark.parametrize(
+    "exp_id,plain,cell",
+    [
+        ("fig09", "fig09", None),
+        ("fig07:MILC-512", "fig07:MILC-512", None),
+        ("fig09:df+/valiant", "fig09", ("df+", "valiant")),
+        ("fig09:dfplus/val", "fig09", ("df+", "valiant")),
+        # The default cell normalises away entirely.
+        ("fig09:dragonfly/ugal", "fig09", None),
+        ("fig09:df/adaptive", "fig09", None),
+        ("fig07:MILC-512@df+/minimal", "fig07:MILC-512", ("df+", "minimal")),
+        ("fig07:MILC-512@dragonfly/ugal", "fig07:MILC-512", None),
+    ],
+)
+def test_split_cell(exp_id, plain, cell):
+    assert split_cell(exp_id) == (plain, cell)
+
+
+def test_split_cell_rejects_unknown_names():
+    with pytest.raises(ValueError):
+        split_cell("fig09:torus/ugal")
+    with pytest.raises(ValueError):
+        split_cell("fig09:df+/ecmp")
+    with pytest.raises(ValueError):
+        split_cell("fig07:MILC-512@torus/ugal")
+
+
+def test_canonical_exp_id():
+    assert canonical_exp_id("fig09") == "fig09"
+    assert canonical_exp_id("fig09:dfplus/val") == "fig09:df+/valiant"
+    assert canonical_exp_id("fig09:dragonfly/ugal") == "fig09"
+    assert (
+        canonical_exp_id("fig07:MILC-512@dfplus/min")
+        == "fig07:MILC-512@df+/minimal"
+    )
+
+
+def test_cli_rejects_bad_cell(capsys):
+    from repro.experiments.__main__ import main
+
+    with pytest.raises(SystemExit):
+        main(["fig09:torus/ugal", "--explain"])
+    err = capsys.readouterr().err
+    assert "registered topologies" in err
+
+
+def test_supplied_campaign_conflicts_with_cell(tiny_campaign):
+    with pytest.raises(ValueError, match="fixes the"):
+        run_experiments(
+            ["fig03:df+/valiant"], campaign=tiny_campaign, fast=True
+        )
+
+
+def test_explain_headers_cells(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    default = explain_experiments(["fig09"], fast=True)
+    assert "cell" not in default.splitlines()[0]
+    mixed = explain_experiments(["fig09", "fig09:df+/valiant"], fast=True)
+    assert "cell df+/valiant" in mixed
+    # The default-cell plan is byte-identical with and without company.
+    assert default in mixed
+
+
+@pytest.mark.artifact_cache
+def test_fig09_runs_on_distinct_cells(tmp_path, monkeypatch):
+    """fig09 end-to-end on two cells: distinct campaigns, distinct artifacts."""
+    from repro.experiments.context import clear_cache, experiment_config
+
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    clear_cache()
+    cells = [("df+", "valiant"), ("dragonfly", "minimal")]
+    fps = {experiment_config(True, c).fingerprint() for c in cells}
+    fps.add(experiment_config(True).fingerprint())
+    assert len(fps) == 3
+
+    ids = ["fig09:df+/valiant", "fig09:dragonfly/minimal"]
+    results = run_experiments(ids, fast=True)
+    texts = set()
+    for exp_id in ids:
+        res = results[exp_id]
+        assert res.exp_id == exp_id
+        assert "%" in res.text
+        texts.add(res.text)
+    assert len(texts) == 2  # different cells, different numbers
+    # Each cell's campaign is cached under its own fingerprint.
+    from repro.campaign.datasets import Campaign
+
+    cached = {p.name for p in Campaign.cache_dir().iterdir() if p.is_dir()}
+    for cell in cells:
+        assert experiment_config(True, cell).fingerprint() in cached
+    clear_cache()

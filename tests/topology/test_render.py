@@ -40,3 +40,43 @@ def test_render_utilisation(tiny_topo):
     text = render_utilisation(tiny_topo, loads)
     assert "green" in text and "blue" in text
     assert "mean=0.500" in text
+
+
+def test_render_plus_group():
+    from repro.topology.dragonfly_plus import DragonflyPlusTopology
+
+    t = DragonflyPlusTopology(groups=3, leaf_size=3, spine_size=2, nodes_per_router=2)
+    text = render_group(t, 0)
+    assert "3 leaves x 2 spines" in text
+    assert "io" in text  # leaf 0 of group 0 hosts I/O
+    assert "global links" in text
+    assert "io" not in render_group(t, 2).split("\n", 1)[1]
+    with pytest.raises(ValueError):
+        render_group(t, 3)
+
+
+def test_render_plus_connectivity_and_utilisation():
+    import numpy as np
+
+    from repro.topology.dragonfly_plus import DragonflyPlusTopology
+
+    t = DragonflyPlusTopology(groups=3, leaf_size=3, spine_size=2, nodes_per_router=2)
+    conn = render_group_connectivity(t)
+    assert "3 groups" in conn
+    loads = np.zeros(t.num_links)
+    loads[: t.num_up] = 0.5 * t.link_capacity[: t.num_up]
+    text = render_utilisation(t, loads)
+    assert "up" in text and "down" in text and "global" in text
+    assert "mean=0.500" in text
+
+
+def test_render_unknown_topology_degrades():
+    class Weird:
+        groups = 1
+
+        def describe(self):
+            return "weird(1)"
+
+    text = render_group(Weird(), 0)
+    assert "not supported" in text
+    assert "weird(1)" in text

@@ -1,0 +1,160 @@
+"""Routing edge cases across every registered (topology, policy) cell.
+
+The congestion engine must behave for each registered policy on each
+registered topology when fed degenerate traffic: flows inside one group,
+self-flows (src == dst), a single-group machine (no global links), and
+zero-volume intervals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import TINY
+from repro.network.engine import CongestionEngine, RoutedTraffic
+from repro.network.traffic import FlowSet
+from repro.topology.dragonfly import DragonflyTopology
+from repro.topology.dragonfly_plus import DragonflyPlusTopology
+from repro.topology.registry import ROUTING_POLICIES, TOPOLOGIES, build_topology
+
+POLICIES = sorted(ROUTING_POLICIES)
+TOPOLOGY_NAMES = sorted(TOPOLOGIES)
+
+
+def _tiny(name):
+    return build_topology(name, TINY)
+
+
+def _degenerate(name):
+    """The smallest legal machine where Valiant has no third group.
+
+    A dragonfly refuses a single group outright, so its edge case is the
+    2-group machine; dragonfly+ additionally supports one group (no
+    global links at all).
+    """
+    if name == "dragonfly":
+        return DragonflyTopology(groups=2, row_size=2, col_size=2, nodes_per_router=2)
+    return DragonflyPlusTopology(
+        groups=1, leaf_size=3, spine_size=2, nodes_per_router=2
+    )
+
+
+def _conserved(topo, inc, n_flows, src, dst, local_mask):
+    """Each fabric flow's incidence forms a unit src->dst transfer."""
+    ls, ld = topo.link_endpoints
+    for f in range(n_flows):
+        sel = inc.flow == f
+        bal = np.zeros(topo.num_routers)
+        np.subtract.at(bal, ls[inc.link[sel]], inc.share[sel])
+        np.add.at(bal, ld[inc.link[sel]], inc.share[sel])
+        if local_mask[f]:
+            np.testing.assert_allclose(bal, 0.0, atol=1e-9)
+            continue
+        assert bal[src[f]] == pytest.approx(-1.0, abs=1e-9)
+        assert bal[dst[f]] == pytest.approx(1.0, abs=1e-9)
+        mask = np.ones(topo.num_routers, dtype=bool)
+        mask[[src[f], dst[f]]] = False
+        np.testing.assert_allclose(bal[mask], 0.0, atol=1e-9)
+
+
+@pytest.mark.parametrize("name", TOPOLOGY_NAMES)
+def test_intra_group_and_self_flows_conserve(name):
+    topo = _tiny(name)
+    router = topo.default_router()
+    r = topo.routers_per_group
+    # Group 1: self-flow, two distinct intra-group pairs.
+    src = np.array([r + 1, r + 1, r + 0])
+    dst = np.array([r + 1, r + 2, r + (r - 1)])
+    routing = router.route(src, dst)
+    assert routing.local_mask.tolist() == [True, False, False]
+    # Global/blue links occupy the id tail on both topologies.
+    global_base = getattr(topo, "blue_base", None) or topo.global_base
+    for inc in (routing.minimal, routing.valiant):
+        _conserved(topo, inc, 3, src, dst, routing.local_mask)
+        # Intra-group traffic never touches a global link.
+        assert (inc.link < global_base).all()
+
+
+@pytest.mark.parametrize("name", TOPOLOGY_NAMES)
+def test_degenerate_topology_routes(name):
+    topo = _degenerate(name)
+    router = topo.default_router()
+    rng = np.random.default_rng(11)
+    src = rng.integers(0, topo.num_routers, size=40)
+    dst = rng.integers(0, topo.num_routers, size=40)
+    routing = router.route(src, dst)
+    for inc in (routing.minimal, routing.valiant):
+        assert (inc.link >= 0).all() and (inc.link < topo.num_links).all()
+        assert (inc.share > 0).all()
+        _conserved(topo, inc, 40, src, dst, routing.local_mask)
+
+
+@pytest.mark.parametrize("name", TOPOLOGY_NAMES)
+@pytest.mark.parametrize("policy", POLICIES)
+def test_engine_solves_each_policy(name, policy):
+    topo = _tiny(name)
+    eng = CongestionEngine(topo, policy=policy)
+    rng = np.random.default_rng(5)
+    n = 60
+    flows = FlowSet(
+        src=rng.integers(0, topo.num_routers, size=n),
+        dst=rng.integers(0, topo.num_routers, size=n),
+        volume=rng.uniform(1e6, 5e8, size=n),
+    )
+    routing = eng.router.route(flows.src, flows.dst)
+    state = eng.solve([RoutedTraffic(flows, routing)])
+    assert np.isfinite(state.link_loads).all()
+    assert (state.link_loads >= 0).all()
+    assert np.isfinite(state.link_util).all()
+
+
+@pytest.mark.parametrize("name", TOPOLOGY_NAMES)
+@pytest.mark.parametrize("policy", POLICIES)
+def test_engine_zero_traffic(name, policy):
+    """A zero-volume interval solves to an idle network under any policy."""
+    topo = _tiny(name)
+    eng = CongestionEngine(topo, policy=policy)
+    # Empty flow set.
+    empty = FlowSet(
+        src=np.empty(0, dtype=np.int64),
+        dst=np.empty(0, dtype=np.int64),
+        volume=np.empty(0),
+    )
+    routing = eng.router.route(empty.src, empty.dst)
+    state = eng.solve([RoutedTraffic(empty, routing)])
+    np.testing.assert_allclose(state.link_loads, 0.0)
+    # Non-empty geometry, all volumes zero.
+    src = np.array([0, 1])
+    dst = np.array([topo.num_routers - 1, 1])
+    zero = FlowSet(src=src, dst=dst, volume=np.zeros(2))
+    routing = eng.router.route(src, dst)
+    state = eng.solve([RoutedTraffic(zero, routing)])
+    np.testing.assert_allclose(state.link_loads, 0.0)
+
+
+@pytest.mark.parametrize("name", TOPOLOGY_NAMES)
+def test_pinned_policies_bypass_ugal_clip(name):
+    """minimal/valiant alphas sit outside the UGAL clip band [0.25, 0.98]."""
+    topo = _tiny(name)
+    assert CongestionEngine(topo, policy="minimal").alpha0 == 1.0
+    assert CongestionEngine(topo, policy="valiant").alpha0 == 0.0
+    assert CongestionEngine(topo, policy="minimal").pinned
+    assert CongestionEngine(topo, policy="valiant").pinned
+    assert not CongestionEngine(topo, policy="ugal").pinned
+
+
+@pytest.mark.parametrize("name", TOPOLOGY_NAMES)
+def test_minimal_and_valiant_load_distinct_links(name):
+    """On >2 groups the two pinned policies load different global links."""
+    topo = _tiny(name)
+    router = topo.default_router()
+    src = np.array([1])
+    dst = np.array([3 * topo.routers_per_group + 1])
+    flows = FlowSet(src=src, dst=dst, volume=np.array([1e9]))
+    routing = router.route(src, dst)
+    loads_min = routing.link_loads(flows.volume, 1.0, topo.num_links)
+    loads_val = routing.link_loads(flows.volume, 0.0, topo.num_links)
+    assert not np.allclose(loads_min, loads_val)
+    # Valiant pays extra hops: strictly more total link-bytes.
+    assert loads_val.sum() > loads_min.sum()
