@@ -190,6 +190,78 @@ def bench_campaign_cold(fast: bool, worker_counts: list[int]) -> dict:
     }
 
 
+def bench_profile(campaign, fast: bool, fingerprint: str, out_dir: Path) -> dict:
+    """One profiled cold ``all`` pass -> ``PROFILE_all_fast.json``.
+
+    Runs every paper experiment serially with ``REPRO_PROFILE=1`` and
+    the artifact store off (cold-for-cold, like the timed benches),
+    aggregates the trace into per-stage resource records, and
+    normalizes stage walls by the calibration factor so the committed
+    baseline is machine-speed independent — ``python -m repro.obs
+    diff`` gates against exactly this file.  The raw ``profile.json``
+    and a chrome-trace export land in ``out_dir`` for CI upload.
+    """
+    import shutil
+
+    from repro.obs import trace as obs_trace
+    from repro.obs.export import export_trace
+    from repro.obs.report import load_trace
+
+    calibration = calibrate()
+    ids = sorted(PAPER_EXPERIMENTS)
+    clear_feature_caches()
+    shutdown_pool()
+    with tempfile.TemporaryDirectory(prefix="repro-profile-") as tmp:
+        trace_path = Path(tmp) / "profile-all.jsonl"
+        os.environ["REPRO_PROFILE"] = "1"
+        os.environ["REPRO_WORKERS"] = "1"
+        os.environ["REPRO_ARTIFACT_CACHE"] = "0"
+        try:
+            obs_trace.end_run()  # a clean sink for exactly this run
+            obs_trace.start_run("profile-all", path=trace_path)
+            t0 = time.perf_counter()
+            run_experiments(ids, campaign=campaign, fast=fast)
+            wall = time.perf_counter() - t0
+            obs_trace.end_run()  # flushes metrics + writes profile.json
+        finally:
+            os.environ.pop("REPRO_PROFILE", None)
+            os.environ.pop("REPRO_WORKERS", None)
+            os.environ.pop("REPRO_ARTIFACT_CACHE", None)
+        profile_path = trace_path.with_name("profile-all.profile.json")
+        prof = json.loads(profile_path.read_text(encoding="utf-8"))
+        shutil.copy(profile_path, out_dir / "profile.json")
+        export_trace(
+            load_trace(trace_path), "chrome-trace",
+            out_dir / "profile.chrome.json",
+        )
+    print(f"  profile_all: {wall:.2f}s over {len(ids)} experiments "
+          f"({wall / calibration:.1f}x calibration)")
+
+    stages = {}
+    for key, rec in prof["stages"].items():
+        cpu = rec["cpu_user"] + rec["cpu_sys"]
+        stages[key] = {
+            "calls": rec["calls"],
+            "status": rec["status"],
+            "wall_s": round(rec["wall"], 4),
+            "normalized_wall": round(rec["wall"] / calibration, 4),
+            "cpu_s": round(cpu, 4),
+            "normalized_cpu": round(cpu / calibration, 4),
+            "maxrss_kb": rec["maxrss_kb"],
+        }
+    return {
+        "name": "profile_all",
+        "mode": "fast" if fast else "full",
+        "dataset_fingerprint": fingerprint,
+        "cpu_count": os.cpu_count(),
+        "calibration_s": round(calibration, 4),
+        "experiments": len(ids),
+        "wall_s": round(wall, 4),
+        "normalized_wall": round(wall / calibration, 4),
+        "stages": stages,
+    }
+
+
 def bench_one(
     name: str, campaign, fast: bool, worker_counts: list[int], fingerprint: str
 ) -> dict:
@@ -233,10 +305,15 @@ def main(argv: list[str] | None = None) -> int:
                     help="test-scale campaign (the CI smoke configuration)")
     ap.add_argument("--out", default="benchmarks",
                     help="directory for BENCH_<name>.json files")
+    ap.add_argument("--profile", action="store_true",
+                    help="run one profiled cold `all` pass and emit "
+                    "PROFILE_all_<mode>.json (the obs diff baseline) "
+                    "instead of the timed benches")
     args = ap.parse_args(argv)
 
     worker_counts = [int(w) for w in args.workers.split(",")]
-    benches = args.bench or BENCHES
+    # --profile replaces the timed benches unless some were named.
+    benches = args.bench or ([] if args.profile else BENCHES)
     out_dir = Path(args.out)
     out_dir.mkdir(parents=True, exist_ok=True)
 
@@ -248,9 +325,16 @@ def main(argv: list[str] | None = None) -> int:
     # pay for the default one unless another scenario needs it.
     campaign = (
         run_campaign(cfg, progress=True)
-        if set(benches) - {"campaign_cold"}
+        if args.profile or set(benches) - {"campaign_cold"}
         else None
     )
+
+    if args.profile:
+        result = bench_profile(campaign, args.fast, fingerprint, out_dir)
+        mode = "fast" if args.fast else "full"
+        path = out_dir / f"PROFILE_all_{mode}.json"
+        path.write_text(json.dumps(result, indent=2) + "\n")
+        print(f"  wrote {path}")
 
     for name in benches:
         if name == "campaign_cold":

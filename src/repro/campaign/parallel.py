@@ -41,6 +41,7 @@ from repro.network.engine import BaseLoad, CongestionEngine, NetworkState
 from repro.network.counters import synthesize_router_counters
 from repro.network.ldms import LDMSSampler
 from repro.obs import span
+from repro.obs.profile import profiled_span
 from repro.parallel import WorkerPool, WorkerPoolError, chunked
 from repro.system.users import UserPopulation
 from repro.telemetry.ariesncl import AriesNCL
@@ -233,7 +234,7 @@ def _task_probe_contributions(
 ) -> list[tuple[int, BaseLoad]]:
     """Mean traffic contributions (as seen by other jobs) per probe."""
     out = []
-    with span("campaign.task.probe_contributions", n=len(specs)):
+    with profiled_span("campaign.task.probe_contributions", n=len(specs)):
         for spec in specs:
             ctx = _get_context(
                 spec.job_id, spec.key, spec.long_steps, spec.nodes, keep=True
@@ -248,7 +249,7 @@ def _task_bg_contributions(
     """(steady comm, filesystem) contributions per background job."""
     env = _require_env()
     out = []
-    with span("campaign.task.bg_contributions", n=len(specs)):
+    with profiled_span("campaign.task.bg_contributions", n=len(specs)):
         for spec in specs:
             comm, io = env.bg_model.contribution_for(
                 spec.job_id, spec.user, spec.nodes
@@ -265,7 +266,7 @@ def _task_solve_runs(
     env = _require_env()
     if env.in_subprocess and os.environ.get(_CRASH_ENV):
         os._exit(17)  # crash-path regression hook (see _CRASH_ENV)
-    with span(
+    with profiled_span(
         "campaign.task.solve",
         runs=len(tasks),
         steps=sum(len(t.window_ids) for t in tasks),

@@ -56,7 +56,8 @@ from repro.network.engine import (
     NetworkState,
     slowdown_curve,
 )
-from repro.obs import METRICS, annotate, event, get_logger, span
+from repro.obs import METRICS, annotate, event, get_logger
+from repro.obs.profile import profiled_span
 from repro.network.ldms import LDMSSampler
 from repro.network.traffic import (
     FlowSet,
@@ -731,14 +732,14 @@ class CampaignRunner:
     def run(self, progress: bool = False) -> Campaign:
         cfg = self.config
         fingerprint = cfg.fingerprint()
-        with span("campaign.run", fingerprint=fingerprint) as sp:
+        with profiled_span("campaign.run", fingerprint=fingerprint) as sp:
             campaign = Campaign.load(fingerprint) if cfg.use_cache else None
             cached = campaign is not None
             if campaign is None:
                 METRICS.counter("campaign.cache.misses").inc()
                 campaign = self._generate(progress=progress)
                 if cfg.use_cache:
-                    with span("campaign.save", fingerprint=fingerprint):
+                    with profiled_span("campaign.save", fingerprint=fingerprint):
                         campaign.save(fingerprint)
             else:
                 METRICS.counter("campaign.cache.hits").inc()
@@ -809,7 +810,7 @@ class CampaignRunner:
         from repro.campaign import parallel as par
 
         # 1. Jobs: background + probes, scheduled together.
-        with span("campaign.schedule", days=cfg.days, workers=workers):
+        with profiled_span("campaign.schedule", days=cfg.days, workers=workers):
             bg_gen = BackgroundWorkloadGenerator.for_target_utilisation(
                 self.population,
                 rng_for("bg-workload", seed=cfg.seed),
@@ -877,7 +878,7 @@ class CampaignRunner:
         # 4. Assemble datasets.
         from repro.topology.placement import placement_features
 
-        with span("campaign.assemble", runs=len(probes)):
+        with profiled_span("campaign.assemble", runs=len(probes)):
             datasets: dict[str, RunDataset] = {
                 key: RunDataset(key=key) for key in cfg.dataset_keys
             }
@@ -957,7 +958,7 @@ class CampaignRunner:
         start = perf_counter()
 
         # -- phase 1: probe mean contributions --------------------------- #
-        with span("campaign.probe_contributions", probes=n_probes):
+        with profiled_span("campaign.probe_contributions", probes=n_probes):
             specs = [
                 par.ProbeSpec(
                     pi=pi,
@@ -1113,7 +1114,7 @@ class CampaignRunner:
             while len(inflight) > max_inflight:
                 collect(inflight.popleft())
 
-        with span(
+        with profiled_span(
             "campaign.sweep", samples=len(samples), runs=n_probes,
             workers=workers,
         ):

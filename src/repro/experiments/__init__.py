@@ -146,6 +146,10 @@ def _make_runner(ids, ctx, workers, force):
         campaign=ctx.campaign,
         workers=workers,
         force=force,
+        # Stage names are cell-agnostic; the runner stamps the cell onto
+        # spans, counters, and the graph.plan event so profiles and
+        # reports stay attributable per (topology, routing) cell.
+        cell="/".join(ctx.cell) if ctx.cell else None,
     )
     return runner, targets
 

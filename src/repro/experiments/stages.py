@@ -85,14 +85,26 @@ def campaign_stage_fingerprint(campaign_fingerprint: str | None) -> tuple[str, s
 def load_or_build_manifest(ctx) -> dict:
     """The manifest for an :class:`~repro.experiments.context.ExperimentContext`:
     a pure store read when warm, built from the materialised campaign (and
-    stored, so the graph's campaign stage hits) otherwise."""
+    stored, so the graph's campaign stage hits) otherwise.
+
+    The build path *is* the campaign stage executing — just early, at
+    graph-build time — so it opens the same ``graph.stage`` span the
+    scheduler would: cold-run campaign generation stays attributed to a
+    stage, and profiled per-stage walls keep summing to the run's root
+    span.
+    """
     from repro.graph import MISS
+    from repro.obs.profile import profiled_span
 
     group, fp = campaign_stage_fingerprint(ctx.campaign_fingerprint)
     value = ctx.store.load(group, fp)
     if value is not MISS:
         return value
-    manifest = build_manifest(ctx.campaign())
+    attrs = {"stage": CAMPAIGN_STAGE}
+    if ctx.cell:
+        attrs["cell"] = "/".join(ctx.cell)
+    with profiled_span("graph.stage", **attrs):
+        manifest = build_manifest(ctx.campaign())
     ctx.store.save(group, fp, manifest)
     return manifest
 

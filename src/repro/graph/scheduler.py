@@ -27,20 +27,34 @@ worker count) can never perturb any downstream value.
 
 from __future__ import annotations
 
+import time
+import warnings
 from collections import defaultdict, deque
 from dataclasses import dataclass
 from typing import Callable
 
 from repro.graph.stage import Graph, Stage, StageCtx, resolve_fn
 from repro.graph.store import MISS, ArtifactStore
-from repro.obs import METRICS, span
+from repro.obs import METRICS, event
+from repro.obs.profile import profile_requested, profiled_span
 from repro.parallel import get_pool, wait_any
 
 
-def _exec_stage(fn_path: str, name: str, params: dict, inputs: dict, ds, camp=None):
+def _exec_stage(
+    fn_path: str,
+    name: str,
+    params: dict,
+    inputs: dict,
+    ds,
+    camp=None,
+    cell: str | None = None,
+):
     """Execute one stage body (top-level so pool workers can run it)."""
     fn = resolve_fn(fn_path)
-    with span("graph.stage", stage=name):
+    attrs = {"stage": name}
+    if cell:
+        attrs["cell"] = cell
+    with profiled_span("graph.stage", **attrs):
         return fn(StageCtx(params=params, inputs=inputs, ds=ds, camp=camp))
 
 
@@ -93,6 +107,14 @@ class GraphRunner:
         Worker-count request forwarded to :func:`repro.parallel.get_pool`.
     force:
         Bypass stored artifacts (results are still re-saved).
+    cell:
+        The canonical ``topology/routing`` label this graph runs on, or
+        None for the default cell.  Shared stage *names* do not carry
+        the cell (only their fingerprints differ), so the runner stamps
+        it onto ``graph.stage`` spans, the ``graph.plan`` trace event,
+        and cell-qualified ``graph.stage.<status>[<cell>]`` counters —
+        that is what makes warm-cache behaviour attributable per cell
+        in reports and profiles.
     """
 
     def __init__(
@@ -104,14 +126,27 @@ class GraphRunner:
         campaign: Callable | None = None,
         workers: int | None = None,
         force: bool = False,
+        cell: str | None = None,
     ) -> None:
         self.graph = graph
         self.store = store
         self.workers = workers
         self.force = force
+        self.cell = cell
         self.fingerprints = graph.fingerprints(campaign_fingerprint)
         self._provider = campaign
         self._camp = None
+
+    def _count(self, status: str, n: int = 1) -> None:
+        """Bump a ``graph.stage.<status>`` counter, plus its per-cell
+        twin when this runner is pinned to a (topology, routing) cell.
+        The unqualified counter stays the cross-cell total existing
+        tests and reports read."""
+        if not n:
+            return
+        METRICS.counter(f"graph.stage.{status}").inc(n)
+        if self.cell:
+            METRICS.counter(f"graph.stage.{status}[{self.cell}]").inc(n)
 
     def _campaign(self):
         if self._camp is None:
@@ -152,19 +187,24 @@ class GraphRunner:
         for t in targets:
             if t not in self.graph.stages:
                 raise KeyError(f"unknown stage {t!r}")
-        with span(
-            "graph.run", targets=len(targets), stages=len(self.graph.stages)
-        ):
-            return self._run(targets)
+        attrs = {"targets": len(targets), "stages": len(self.graph.stages)}
+        if self.cell:
+            attrs["cell"] = self.cell
+        with profiled_span("graph.run", **attrs):
+            out = self._run(targets)
+        self._persist_run_profile()
+        return out
 
     def _run(self, targets: list[str]) -> dict[str, object]:
         graph, store, fps = self.graph, self.store, self.fingerprints
+        prof_on = profile_requested()
 
         # Needed-set walk, newest-first: loads hit artifacts as it goes
         # (digest-verified — a corrupt entry counts as a miss and its
         # upstream cone rejoins the walk), stops recursion at each hit.
         values: dict[str, object] = {}
         exec_set: set[str] = set()
+        load_times: dict[str, float] = {}
         stack, seen = list(targets), set()
         while stack:
             name = stack.pop()
@@ -173,18 +213,84 @@ class GraphRunner:
             seen.add(name)
             st = graph.stages[name]
             if not self.force and st.store and store.enabled:
+                t0 = time.perf_counter() if prof_on else 0.0
                 value = store.load(st.group(), fps[name])
                 if value is not MISS:
                     values[name] = value
+                    if prof_on:
+                        load_times[name] = time.perf_counter() - t0
                     continue
-                METRICS.counter("graph.stage.miss").inc()
+                self._count("miss")
             exec_set.add(name)
             stack.extend(up for _, up in st.inputs)
-        METRICS.counter("graph.stage.hit").inc(len(values))
+        self._count("hit", len(values))
 
+        self._emit_plan(values, exec_set, seen, load_times)
         if exec_set:
             self._execute(exec_set, values)
         return {t: values[t] for t in targets}
+
+    def _emit_plan(
+        self,
+        values: dict[str, object],
+        exec_set: set[str],
+        seen: set[str],
+        load_times: dict[str, float],
+    ) -> None:
+        """Record the resolved DAG as one ``graph.plan`` trace event.
+
+        Carries every needed stage's status, input edges, and (when
+        profiling) the timed artifact load of each hit — the structural
+        half of the profile that critical-path analysis replays, since
+        hits never open a ``graph.stage`` span of their own.
+        """
+        from repro.obs import trace as obs_trace
+
+        if not obs_trace.ACTIVE:
+            return
+        stages = []
+        for name, st in self.graph.stages.items():
+            if name in values:
+                status = "hit"
+            elif name in exec_set:
+                status = "force" if self.force else (
+                    "miss" if st.store and self.store.enabled else "run"
+                )
+            elif name not in seen:
+                continue  # outside the needed cone of this run
+            else:  # pragma: no cover - seen stages are hit or executing
+                continue
+            entry: dict = {
+                "name": name,
+                "status": status,
+                "inputs": [up for _, up in st.inputs],
+            }
+            if name in load_times:
+                entry["load_s"] = round(load_times[name], 6)
+            stages.append(entry)
+        event("graph.plan", cell=self.cell, stages=stages)
+
+    def _persist_run_profile(self) -> None:
+        """Drop the aggregated run profile next to the stage artifacts
+        (``<store root>/_profiles/<trace stem>.json``) after a profiled
+        run.  Best-effort: a profile write never fails the run."""
+        if not profile_requested() or not self.store.enabled:
+            return
+        from repro.obs import trace as obs_trace
+
+        path = obs_trace.current_trace_path()
+        if path is None:
+            return
+        try:
+            from repro.obs.profile import write_run_profile
+
+            write_run_profile(self.store.root, path)
+        except Exception as exc:  # pragma: no cover - best-effort output
+            warnings.warn(
+                f"could not persist run profile: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     def _execute(self, exec_set: set[str], values: dict[str, object]) -> None:
         graph, store, fps = self.graph, self.store, self.fingerprints
@@ -216,25 +322,46 @@ class GraphRunner:
             while ready:
                 name = ready.popleft()
                 st = graph.stages[name]
-                METRICS.counter("graph.stage.run").inc()
+                self._count("run")
                 inputs = {role: values[up] for role, up in st.inputs}
-                camp = self._campaign() if st.campaign else None
-                ds = (
-                    self._campaign()[st.dataset]
-                    if st.dataset is not None
-                    else None
-                )
                 if st.local or not pool.parallel:
-                    finish(
-                        name,
-                        _exec_stage(st.fn, name, dict(st.params), inputs, ds, camp),
-                    )
+                    finish(name, self._exec_local(st, name, inputs))
                 else:
+                    ds = (
+                        self._campaign()[st.dataset]
+                        if st.dataset is not None
+                        else None
+                    )
                     pending.append(
-                        (name, pool.submit(_exec_stage, st.fn, name, dict(st.params), inputs, ds))
+                        (
+                            name,
+                            pool.submit(
+                                _exec_stage, st.fn, name, dict(st.params),
+                                inputs, ds, None, self.cell,
+                            ),
+                        )
                     )
             if pending:
                 done = wait_any([fut for _, fut in pending])
                 for i in sorted(done, reverse=True):
                     name, fut = pending.pop(i)
                     finish(name, pool.result(fut))
+
+    def _exec_local(self, st: Stage, name: str, inputs: dict) -> object:
+        """Run one stage in this process, with campaign/dataset
+        materialisation *inside* the stage span — a cold run's campaign
+        generation is real stage time and must be attributed to the
+        stage that forced it, or per-stage walls stop summing to the
+        root span."""
+        fn = resolve_fn(st.fn)
+        attrs = {"stage": name}
+        if self.cell:
+            attrs["cell"] = self.cell
+        with profiled_span("graph.stage", **attrs):
+            camp = self._campaign() if st.campaign else None
+            ds = (
+                self._campaign()[st.dataset]
+                if st.dataset is not None
+                else None
+            )
+            return fn(StageCtx(params=dict(st.params), inputs=inputs, ds=ds, camp=camp))

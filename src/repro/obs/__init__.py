@@ -13,6 +13,10 @@ where the time goes.
   campaign worker processes;
 * ``python -m repro.obs report`` — self/cumulative time table and cache
   hit rates from one trace (:mod:`repro.obs.report`);
+* :func:`profiled_span` — a span that also samples CPU/RSS/GC/cache
+  deltas when ``REPRO_PROFILE=1`` (:mod:`repro.obs.profile`); the
+  ``export`` and ``diff`` CLI subcommands turn the resulting traces
+  into viewer files and regression verdicts;
 * :func:`get_logger` / :func:`configure_logging` — the package's single
   stdlib-logging setup (``REPRO_LOG_LEVEL``).
 
@@ -21,6 +25,7 @@ See ``docs/observability.md`` for the trace schema and workflows.
 
 from repro.obs.log import configure_logging, get_logger
 from repro.obs.metrics import METRICS, Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profile import profile_requested, profiled_span
 from repro.obs.spans import current_span_id, remote_parent, span, traced
 from repro.obs.trace import (
     annotate,
@@ -35,6 +40,8 @@ from repro.obs.trace import (
 __all__ = [
     "span",
     "traced",
+    "profiled_span",
+    "profile_requested",
     "current_span_id",
     "remote_parent",
     "METRICS",

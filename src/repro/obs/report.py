@@ -29,6 +29,7 @@ class TraceData:
     events: list[dict] = field(default_factory=list)
     annotations: list[dict] = field(default_factory=list)
     metrics: list[dict] = field(default_factory=list)
+    truncated: list[dict] = field(default_factory=list)
 
     def merged_metrics(self) -> dict[str, object]:
         """Metric values summed across all processes' final snapshots."""
@@ -75,6 +76,8 @@ def load_trace(path: "Path | str") -> TraceData:
                 data.annotations.append(rec)
             elif t == "metrics":
                 data.metrics.append(rec)
+            elif t == "truncated":
+                data.truncated.append(rec)
     if bad:
         warnings.warn(
             f"skipped {bad} unparseable line(s) in {path}", RuntimeWarning,
@@ -155,7 +158,209 @@ def _cache_summary(metrics: dict[str, object]) -> list[str]:
             f"stage graph: {st_hits} artifact hits, {st_miss} misses, "
             f"{st_runs} stages run"
         )
+    for cell in sorted(_stage_cells(metrics)):
+        hits = int(metrics.get(f"graph.stage.hit[{cell}]", 0) or 0)
+        miss = int(metrics.get(f"graph.stage.miss[{cell}]", 0) or 0)
+        runs = int(metrics.get(f"graph.stage.run[{cell}]", 0) or 0)
+        lines.append(
+            f"  cell {cell}: {hits} artifact hits, {miss} misses, "
+            f"{runs} stages run"
+        )
     return lines
+
+
+def _stage_cells(metrics: dict[str, object]) -> set[str]:
+    """Cell labels present in ``graph.stage.<status>[<cell>]`` counters."""
+    cells: set[str] = set()
+    for name in metrics:
+        if name.startswith("graph.stage.") and name.endswith("]"):
+            _, _, label = name.partition("[")
+            cells.add(label[:-1])
+    return cells
+
+
+def critical_paths(data: TraceData) -> list[dict]:
+    """Longest wall-time chain through each run's resolved stage DAG.
+
+    Replays the ``graph.plan`` event(s) the runner emits (one per
+    ``GraphRunner.run``, topologically ordered, with hit/miss/run
+    statuses and input edges), attributing to each stage:
+
+    * its summed ``graph.stage`` span wall when it executed,
+    * its timed artifact load when it was a hit (profiled runs),
+    * zero otherwise (hits in unprofiled traces).
+
+    Returns one record per plan with the dominant chain, its wall, the
+    executed-vs-hit split, and the matching ``graph.run`` root wall —
+    empty when the trace predates the plan event.
+    """
+    # Executed-stage walls, keyed by (cell, stage name).
+    walls: dict[tuple[str | None, str], float] = {}
+    roots: dict[str | None, float] = {}
+    for sp in data.spans:
+        attrs = sp.get("attrs", {})
+        if sp["name"] == "graph.stage" and attrs.get("stage"):
+            key = (attrs.get("cell"), attrs["stage"])
+            walls[key] = walls.get(key, 0.0) + sp.get("dur", 0.0)
+        elif sp["name"] == "graph.run":
+            cell = attrs.get("cell")
+            roots[cell] = max(roots.get(cell, 0.0), sp.get("dur", 0.0))
+
+    out: list[dict] = []
+    for ev in data.events:
+        if ev.get("name") != "graph.plan":
+            continue
+        attrs = ev.get("attrs", {})
+        cell = attrs.get("cell")
+        stages = attrs.get("stages", [])
+        if not stages:
+            continue
+        info = {st["name"]: st for st in stages}
+
+        def stage_wall(st: dict) -> tuple[float, str]:
+            executed = walls.get((cell, st["name"]))
+            if executed is not None:
+                return executed, "run"
+            if st.get("status") == "hit":
+                return st.get("load_s") or 0.0, "hit"
+            return 0.0, st.get("status", "?")
+
+        # DP over the (topologically ordered) plan: best[n] is the
+        # heaviest chain ending at n.
+        best: dict[str, float] = {}
+        prev: dict[str, str | None] = {}
+        for st in stages:
+            name = st["name"]
+            w, _ = stage_wall(st)
+            up_best, up_name = 0.0, None
+            for up in st.get("inputs", []):
+                if up in best and best[up] > up_best:
+                    up_best, up_name = best[up], up
+            best[name] = w + up_best
+            prev[name] = up_name
+        end = max(best, key=lambda n: best[n])
+        chain: list[dict] = []
+        node: str | None = end
+        while node is not None:
+            w, status = stage_wall(info[node])
+            chain.append(
+                {"name": node, "status": status, "wall": round(w, 6)}
+            )
+            node = prev[node]
+        chain.reverse()
+
+        executed = sum(
+            stage_wall(st)[0] for st in stages
+            if stage_wall(st)[1] == "run"
+        )
+        hits = sum(
+            stage_wall(st)[0] for st in stages
+            if stage_wall(st)[1] == "hit"
+        )
+        out.append(
+            {
+                "cell": cell,
+                "stages": len(stages),
+                "chain": chain,
+                "chain_wall": round(best[end], 6),
+                "executed_wall": round(executed, 6),
+                "hit_wall": round(hits, 6),
+                "root_wall": round(roots.get(cell, 0.0), 6),
+            }
+        )
+    return out
+
+
+def render_critical_path(data: TraceData) -> str:
+    """Text rendering of :func:`critical_paths` (``--critical-path``)."""
+    paths = critical_paths(data)
+    if not paths:
+        return (
+            "(no graph.plan events in this trace — run an experiment "
+            "with REPRO_TRACE=1 to record the resolved DAG)"
+        )
+    lines: list[str] = []
+    for p in paths:
+        where = f" — cell {p['cell']}" if p["cell"] else ""
+        lines.append(
+            f"critical path{where}: {p['chain_wall']:.3f}s through "
+            f"{len(p['chain'])} of {p['stages']} stages"
+        )
+        if p["root_wall"]:
+            share = 100.0 * p["chain_wall"] / p["root_wall"]
+            lines.append(
+                f"  graph.run wall {p['root_wall']:.3f}s "
+                f"({share:.0f}% on the chain); "
+                f"executed stages {p['executed_wall']:.3f}s, "
+                f"artifact hits {p['hit_wall']:.3f}s"
+            )
+        for entry in p["chain"]:
+            lines.append(
+                f"  [{entry['status']:<4}] {entry['wall']:>9.3f}s  "
+                f"{entry['name']}"
+            )
+    return "\n".join(lines)
+
+
+def _profile_summary(data: TraceData) -> list[str]:
+    """Top resource consumers, shown when the trace holds prof records."""
+    from repro.obs.profile import build_profile
+
+    prof = build_profile(data)
+    if prof is None:
+        return []
+    lines = ["profiled stages (top 5 by wall):"]
+    ranked = sorted(
+        prof["stages"].items(), key=lambda kv: -kv[1]["wall"]
+    )[:5]
+    for key, rec in ranked:
+        cpu = rec["cpu_user"] + rec["cpu_sys"]
+        lines.append(
+            f"  [{rec['status']:<4}] {rec['wall']:>9.3f}s wall  "
+            f"{cpu:>8.3f}s cpu  {rec['maxrss_kb']:>9} kB rss  {key}"
+        )
+    if not ranked:
+        lines = []
+    return lines
+
+
+def report_json(data: TraceData) -> dict:
+    """The machine-readable report (``report --format json``): manifest,
+    span aggregates, merged metrics, the run profile, and critical-path
+    records — the same facts the text renderer prints, reusable by the
+    regression sentinel and CI."""
+    from repro.obs.profile import build_profile
+
+    man = data.manifest or {}
+    aggs = aggregate_spans(data.spans)
+    return {
+        "format": 1,
+        "trace": str(data.path),
+        "run_id": man.get("run_id"),
+        "argv": man.get("argv"),
+        "platform": man.get("platform"),
+        "versions": man.get("versions"),
+        "env": man.get("env"),
+        "annotations": [r.get("attrs", {}) for r in data.annotations],
+        "spans": [
+            {
+                "name": a.name,
+                "calls": a.calls,
+                "cum_s": round(a.cum, 6),
+                "self_s": round(a.self_time, 6),
+            }
+            for a in aggs
+        ],
+        "failed_spans": [
+            {"name": r["name"], "err": r.get("err")}
+            for r in data.spans
+            if not r.get("ok", True)
+        ],
+        "metrics": data.merged_metrics(),
+        "truncated": len(data.truncated),
+        "profile": build_profile(data),
+        "critical_path": critical_paths(data),
+    }
 
 
 def render_report(data: TraceData, tree: bool = False) -> str:
@@ -201,6 +406,20 @@ def render_report(data: TraceData, tree: bool = False) -> str:
     cache = _cache_summary(data.merged_metrics())
     if cache:
         lines.extend(cache)
+
+    prof = _profile_summary(data)
+    if prof:
+        lines.append("")
+        lines.extend(prof)
+
+    if data.truncated:
+        first = data.truncated[0]
+        lines.append("")
+        lines.append(
+            f"warning: trace truncated at "
+            f"{first.get('limit_mb', '?')} MB "
+            f"(REPRO_TRACE_MAX_MB) — later records were dropped"
+        )
 
     failed = [rec for rec in data.spans if not rec.get("ok", True)]
     if failed:

@@ -62,13 +62,18 @@ def remote_parent(parent_id: str | None):
 class Span:
     """One live span; records itself on exit (including on exceptions)."""
 
-    __slots__ = ("name", "attrs", "id", "parent", "_t0", "_wall", "_token")
+    __slots__ = (
+        "name", "attrs", "id", "parent", "prof", "_t0", "_wall", "_token",
+    )
 
     def __init__(self, name: str, attrs: dict) -> None:
         self.name = name
         self.attrs = attrs
         self.id = _next_id()
         self.parent: str | None = None
+        #: Resource-delta dict attached by :mod:`repro.obs.profile`;
+        #: rides out-of-band in the trace record, never in results.
+        self.prof: dict | None = None
         self._t0 = 0.0
         self._wall = 0.0
         self._token = None
@@ -100,6 +105,8 @@ class Span:
         }
         if self.attrs:
             rec["attrs"] = self.attrs
+        if self.prof is not None:
+            rec["prof"] = self.prof
         if exc_type is not None:
             rec["err"] = f"{exc_type.__name__}: {exc}"
         trace.write_record(rec)

@@ -22,6 +22,10 @@ Record types (the ``"t"`` field):
     Final :data:`repro.obs.metrics.METRICS` snapshot of one process,
     tagged with its pid; the root process and every worker each flush
     one on exit.
+``truncated``
+    Written once when the trace file crosses ``REPRO_TRACE_MAX_MB``;
+    every later record from that process is dropped so a long profiled
+    run degrades to a capped trace instead of filling the disk.
 
 Enablement: ``REPRO_TRACE=1`` turns tracing on; entry points (the
 experiment/campaign CLIs, :func:`repro.experiments.run_experiment`) call
@@ -51,6 +55,15 @@ TRACE_ENV = "REPRO_TRACE"
 TRACE_DIR_ENV = "REPRO_TRACE_DIR"
 #: Exported by ``start_run`` so subprocess workers join the same trace.
 TRACE_FILE_ENV = "REPRO_TRACE_FILE"
+#: Resource profiling (:mod:`repro.obs.profile`); implies tracing.
+PROFILE_ENV = "REPRO_PROFILE"
+#: Trace size cap in MiB (float; ``<= 0`` disables the guard).  A long
+#: profiled campaign run must degrade to a truncated trace, not a full
+#: disk.
+TRACE_MAX_ENV = "REPRO_TRACE_MAX_MB"
+DEFAULT_TRACE_MAX_MB = 512.0
+#: Size checks cost an fstat, so they run once per this many records.
+_SIZE_CHECK_EVERY = 64
 
 #: Fast-path gate: ``span()`` checks only this module global.  True when
 #: a sink is attached *or* tracing is requested but not yet started (the
@@ -62,11 +75,21 @@ _SINK: "io.TextIOWrapper | None" = None
 _RUN_PATH: Path | None = None
 _IS_WORKER = False
 _ATEXIT_REGISTERED = False
+_TRUNCATED = False
+_SINCE_SIZE_CHECK = 0
+
+
+def profile_requested() -> bool:
+    """``REPRO_PROFILE`` truthiness (resource profiling wanted)."""
+    return os.environ.get(PROFILE_ENV, "0") not in ("0", "", "false")
 
 
 def trace_requested() -> bool:
-    """``REPRO_TRACE`` truthiness (tracing wanted for this invocation)."""
-    return os.environ.get(TRACE_ENV, "0") not in ("0", "", "false")
+    """Tracing wanted for this invocation (``REPRO_TRACE``, or implied
+    by ``REPRO_PROFILE`` — profiled records need a sink to land in)."""
+    if os.environ.get(TRACE_ENV, "0") not in ("0", "", "false"):
+        return True
+    return profile_requested()
 
 
 def trace_dir() -> Path:
@@ -93,18 +116,69 @@ def _refresh_gate() -> None:
     )
 
 
+def _max_trace_bytes() -> int:
+    """The configured trace cap in bytes (0 = unlimited)."""
+    raw = os.environ.get(TRACE_MAX_ENV)
+    try:
+        mb = float(raw) if raw else DEFAULT_TRACE_MAX_MB
+    except ValueError:
+        mb = DEFAULT_TRACE_MAX_MB
+    if mb <= 0:
+        return 0
+    return int(mb * 1024 * 1024)
+
+
 def write_record(rec: dict) -> None:
-    """Append one JSONL record (no-op when no sink is attached)."""
+    """Append one JSONL record (no-op when no sink is attached).
+
+    Guarded by ``REPRO_TRACE_MAX_MB``: once the shared trace file
+    crosses the cap (checked every :data:`_SIZE_CHECK_EVERY` records),
+    one ``truncated`` marker record is written and every later record
+    from this process is dropped — the run itself never fails on trace
+    volume.
+    """
+    global _TRUNCATED, _SINCE_SIZE_CHECK
     sink = _SINK
-    if sink is None:
+    if sink is None or _TRUNCATED:
         return
     line = json.dumps(rec, separators=(",", ":"), default=str) + "\n"
     with _LOCK:
+        if _TRUNCATED:
+            return
         try:
             sink.write(line)
             sink.flush()
         except ValueError:  # closed mid-shutdown: drop silently
+            return
+        _SINCE_SIZE_CHECK += 1
+        if _SINCE_SIZE_CHECK < _SIZE_CHECK_EVERY:
+            return
+        _SINCE_SIZE_CHECK = 0
+        limit = _max_trace_bytes()
+        if not limit:
+            return
+        try:
+            size = os.fstat(sink.fileno()).st_size
+        except (OSError, ValueError):  # pragma: no cover - racing close
+            return
+        if size < limit:
+            return
+        marker = json.dumps(
+            {
+                "t": "truncated",
+                "pid": os.getpid(),
+                "ts": time.time(),
+                "size_bytes": size,
+                "limit_mb": limit / (1024 * 1024),
+            },
+            separators=(",", ":"),
+        )
+        try:
+            sink.write(marker + "\n")
+            sink.flush()
+        except ValueError:  # pragma: no cover - racing close
             pass
+        _TRUNCATED = True
 
 
 def _manifest_record(name: str, run_id: str) -> dict:
@@ -140,9 +214,12 @@ def start_run(name: str = "run", path: "Path | str | None" = None) -> Path:
     Idempotent: a second call while a run is open returns the open path.
     """
     global _SINK, _RUN_PATH, _IS_WORKER, _ATEXIT_REGISTERED
+    global _TRUNCATED, _SINCE_SIZE_CHECK
     with _LOCK:
         if _SINK is not None:
             return _RUN_PATH  # type: ignore[return-value]
+        _TRUNCATED = False
+        _SINCE_SIZE_CHECK = 0
         stamp = time.strftime("%Y%m%dT%H%M%S")
         run_id = f"{stamp}-{os.getpid()}-{name}"
         if path is None:
@@ -209,6 +286,7 @@ def attach_worker() -> Path | None:
 def _attach_worker() -> Path | None:
     """Join the parent's trace file from a worker process."""
     global _SINK, _RUN_PATH, _IS_WORKER, _ATEXIT_REGISTERED
+    global _TRUNCATED, _SINCE_SIZE_CHECK
     with _LOCK:
         if _SINK is not None:
             return _RUN_PATH
@@ -219,6 +297,8 @@ def _attach_worker() -> Path | None:
             _SINK = open(target, "a", encoding="utf-8")
         except OSError:
             return None
+        _TRUNCATED = False
+        _SINCE_SIZE_CHECK = 0
         _RUN_PATH = Path(target)
         _IS_WORKER = True
         if not _ATEXIT_REGISTERED:
@@ -238,8 +318,13 @@ def _attach_worker() -> Path | None:
 
 
 def end_run() -> None:
-    """Flush this process's final metrics and close the sink."""
-    global _SINK, _RUN_PATH, _IS_WORKER
+    """Flush this process's final metrics and close the sink.
+
+    The root process of a profiled run (``REPRO_PROFILE=1``) also
+    aggregates the finished trace into ``<trace>.profile.json`` — every
+    worker has flushed its records by the time the root closes.
+    """
+    global _SINK, _RUN_PATH, _IS_WORKER, _TRUNCATED, _SINCE_SIZE_CHECK
     if _SINK is None:
         _refresh_gate()
         return
@@ -254,15 +339,30 @@ def end_run() -> None:
     )
     with _LOCK:
         sink, _SINK = _SINK, None
-        _RUN_PATH = None
+        path, _RUN_PATH = _RUN_PATH, None
+        was_worker, _IS_WORKER = _IS_WORKER, False
+        _TRUNCATED = False
+        _SINCE_SIZE_CHECK = 0
         try:
             sink.close()
         except OSError:  # pragma: no cover - close failure is ignorable
             pass
-        if not _IS_WORKER:
+        if not was_worker:
             os.environ.pop(TRACE_FILE_ENV, None)
-        _IS_WORKER = False
         _refresh_gate()
+    if path is not None and not was_worker and profile_requested():
+        try:
+            from repro.obs.profile import write_profile_json
+
+            write_profile_json(path)
+        except Exception as exc:  # pragma: no cover - best-effort output
+            import warnings
+
+            warnings.warn(
+                f"could not write run profile for {path}: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
 
 def event(name: str, **attrs) -> None:

@@ -42,8 +42,9 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 
 from repro.config import DEFAULT_SEED, resolve_workers, rng_for
-from repro.obs import METRICS, current_span_id, remote_parent, span
+from repro.obs import METRICS, current_span_id, remote_parent
 from repro.obs.log import configure_worker_logging
+from repro.obs.profile import profile_requested, profiled_span
 from repro.obs.trace import attach_worker
 
 __all__ = [
@@ -122,8 +123,18 @@ def _bootstrap_worker(initializer, initargs) -> None:
 
 def _remote_call(parent_span_id: "str | None", fn, args):
     """Run one task with the submitting span adopted as ambient parent,
-    so worker-side spans graft onto the parent process's span tree."""
+    so worker-side spans graft onto the parent process's span tree.
+
+    Under ``REPRO_PROFILE=1`` each task also gets a resource-sampled
+    ``parallel.task`` span (the per-worker profile record the run
+    profile re-roots); without profiling no extra span is emitted, so
+    plain traces keep their pre-profiler record volume.
+    """
     with remote_parent(parent_span_id):
+        if profile_requested():
+            task = getattr(fn, "__name__", str(fn))
+            with profiled_span("parallel.task", task=task):
+                return fn(*args)
         return fn(*args)
 
 
@@ -248,7 +259,7 @@ class WorkerPool:
         gather: results come back in task order no matter which worker
         finishes first."""
         tasks = list(tasks)
-        with span(
+        with profiled_span(
             "parallel.map", pool=self.name, tasks=len(tasks), workers=self.workers
         ):
             METRICS.counter("parallel.tasks").inc(len(tasks))

@@ -215,3 +215,35 @@ def _fp(store, name):
 
 def _plan(store):
     return GraphRunner(_graph(), store=store, campaign_fingerprint=None).plan()
+
+
+def test_cell_qualified_counters(env):
+    store, _ = env
+    base_run = METRICS.counter("graph.stage.run").value
+    cell_run = METRICS.counter("graph.stage.run[df+/valiant]").value
+    GraphRunner(
+        _graph(), store=store, campaign_fingerprint=None, cell="df+/valiant"
+    ).run(["sum"])
+    assert METRICS.counter("graph.stage.run").value == base_run + 3
+    assert (
+        METRICS.counter("graph.stage.run[df+/valiant]").value == cell_run + 3
+    )
+
+    # Warm: the target itself hits and stops the upstream walk.
+    cell_hit = METRICS.counter("graph.stage.hit[df+/valiant]").value
+    GraphRunner(
+        _graph(), store=store, campaign_fingerprint=None, cell="df+/valiant"
+    ).run(["sum"])
+    assert (
+        METRICS.counter("graph.stage.hit[df+/valiant]").value == cell_hit + 1
+    )
+
+
+def test_no_cell_counters_without_cell(env):
+    store, _ = env
+    before = {
+        k: v for k, v in METRICS.snapshot().items() if "[" in k
+    }
+    GraphRunner(_graph(), store=store, campaign_fingerprint=None).run(["sum"])
+    after = {k: v for k, v in METRICS.snapshot().items() if "[" in k}
+    assert after == before

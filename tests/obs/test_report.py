@@ -186,3 +186,126 @@ def test_report_output_is_json_free(tmp_path, clean_trace_state, capsys):
     # ... while the trace itself is line-delimited JSON.
     for line in path.read_text().splitlines():
         json.loads(line)
+
+
+# --------------------------------------------------------------------------- #
+# Critical path, profile summary, and the JSON report.
+# --------------------------------------------------------------------------- #
+
+
+def _dag_trace(tmp_path, cell=None):
+    """A three-stage chain (a -> b -> c) plus an off-path hit."""
+    prof = {"cpu_user": 1.0, "cpu_sys": 0.1, "maxrss_kb": 64,
+            "gc_collections": 0}
+
+    def stage(name, sid, ts, dur):
+        attrs = {"stage": name}
+        if cell:
+            attrs["cell"] = cell
+        rec = _span("graph.stage", sid, "1.1", ts, dur)
+        rec["attrs"] = attrs
+        rec["prof"] = dict(prof)
+        return rec
+
+    run = _span("graph.run", "1.1", None, 0.0, 10.0)
+    if cell:
+        run["attrs"] = {"cell": cell}
+    return TraceData(
+        path=tmp_path / "dag.jsonl",
+        spans=[
+            run,
+            stage("a", "1.2", 0.0, 2.0),
+            stage("b", "1.3", 2.0, 5.0),
+            stage("c", "1.4", 7.0, 1.0),
+        ],
+        events=[{
+            "t": "event", "name": "graph.plan",
+            "attrs": {
+                "cell": cell,
+                "stages": [
+                    {"name": "warm", "status": "hit", "inputs": [],
+                     "load_s": 0.1},
+                    {"name": "a", "status": "miss", "inputs": []},
+                    {"name": "b", "status": "miss", "inputs": ["a", "warm"]},
+                    {"name": "c", "status": "miss", "inputs": ["b"]},
+                ],
+            },
+        }],
+    )
+
+
+def test_critical_path_follows_dominant_chain(tmp_path):
+    from repro.obs.report import critical_paths
+
+    (cp,) = critical_paths(_dag_trace(tmp_path))
+    assert [st["name"] for st in cp["chain"]] == ["a", "b", "c"]
+    assert abs(cp["chain_wall"] - 8.0) < 1e-9
+    assert cp["root_wall"] == 10.0
+    # The cheap hit is not on the path even though b depends on it.
+    assert all(st["name"] != "warm" for st in cp["chain"])
+
+
+def test_critical_path_render_names_cell(tmp_path):
+    from repro.obs.report import render_critical_path
+
+    out = render_critical_path(_dag_trace(tmp_path, cell="df+/valiant"))
+    assert "cell df+/valiant" in out
+    assert "3 of 4 stages" in out
+    assert "[run ]" in out
+
+
+def test_critical_path_without_plan_events(tmp_path):
+    from repro.obs.report import render_critical_path
+
+    data = TraceData(path=tmp_path / "x.jsonl",
+                     spans=[_span("work", "1.1", None, 0.0, 1.0)])
+    assert "no graph.plan events" in render_critical_path(data)
+
+
+def test_report_renders_profile_summary_and_per_cell_cache(tmp_path):
+    data = _dag_trace(tmp_path, cell="df+/valiant")
+    data.metrics = [{
+        "t": "metrics", "pid": 1, "worker": False,
+        "values": {
+            "graph.stage.hit": 2, "graph.stage.run": 3,
+            "graph.stage.hit[df+/valiant]": 2,
+            "graph.stage.run[df+/valiant]": 3,
+        },
+    }]
+    out = render_report(data)
+    assert "profiled stages" in out
+    assert "b@df+/valiant" in out
+    assert "cell df+/valiant: 2 artifact hits" in out
+
+
+def test_report_warns_on_truncated_trace(tmp_path):
+    data = _dag_trace(tmp_path)
+    data.truncated = [{"t": "truncated", "size_bytes": 2048,
+                       "limit_mb": 0.001}]
+    assert "truncated" in render_report(data)
+
+
+def test_cli_report_critical_path_flag(tmp_path, clean_trace_state, capsys):
+    path = _write_real_trace(tmp_path)
+    assert obs_main(["report", str(path), "--critical-path"]) == 0
+    # This trace has no DAG run, so the flag explains what is missing.
+    assert "no graph.plan events" in capsys.readouterr().out
+
+
+def test_cli_report_json_format(tmp_path, clean_trace_state, capsys):
+    path = _write_real_trace(tmp_path)
+    assert obs_main(["report", str(path), "--format", "json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["format"] == 1
+    assert doc["run_id"].endswith("clitest")
+    assert any(s["name"] == "cli.work" for s in doc["spans"])
+    assert "metrics" in doc and "critical_path" in doc
+
+
+def test_cli_report_json_critical_path_narrows(tmp_path, clean_trace_state, capsys):
+    path = _write_real_trace(tmp_path)
+    assert obs_main(
+        ["report", str(path), "--format", "json", "--critical-path"]
+    ) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert set(doc) == {"critical_path"}

@@ -167,3 +167,61 @@ def test_trace_dir_prefers_explicit_env(monkeypatch, tmp_path):
     monkeypatch.delenv(trace.TRACE_DIR_ENV)
     monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "cache"))
     assert trace.trace_dir() == tmp_path / "cache" / "traces"
+
+
+# --------------------------------------------------------------------------- #
+# Size guard.
+# --------------------------------------------------------------------------- #
+
+
+def test_size_guard_truncates_runaway_trace(
+    tmp_path, clean_trace_state, monkeypatch
+):
+    monkeypatch.setenv(trace.TRACE_MAX_ENV, "0.001")  # ~1 kB
+    path = tmp_path / "big.jsonl"
+    trace.start_run("guard", path=path)
+    for i in range(500):
+        event("tick", i=i, pad="x" * 64)
+    trace.end_run()
+    recs = read_records(path)
+    markers = [r for r in recs if r.get("t") == "truncated"]
+    assert len(markers) == 1
+    assert markers[0]["limit_mb"] == pytest.approx(0.001, rel=0.01)
+    assert markers[0]["size_bytes"] > 1024
+    # Everything after the marker was dropped except the final metrics
+    # snapshot; far fewer than the 500 events made it to disk.
+    ticks = [r for r in recs if r.get("name") == "tick"]
+    assert len(ticks) < 500
+    # The marker is the last event-ish record before end_run's flush.
+    idx = recs.index(markers[0])
+    assert all(r["t"] == "metrics" for r in recs[idx + 1:])
+
+
+def test_size_guard_resets_between_runs(
+    tmp_path, clean_trace_state, monkeypatch
+):
+    monkeypatch.setenv(trace.TRACE_MAX_ENV, "0.001")
+    first = tmp_path / "first.jsonl"
+    trace.start_run("one", path=first)
+    for i in range(500):
+        event("tick", i=i, pad="x" * 64)
+    trace.end_run()
+    assert any(r.get("t") == "truncated" for r in read_records(first))
+    monkeypatch.setenv(trace.TRACE_MAX_ENV, "64")
+    second = tmp_path / "second.jsonl"
+    trace.start_run("two", path=second)
+    event("fresh", n=1)
+    trace.end_run()
+    recs = read_records(second)
+    assert not any(r.get("t") == "truncated" for r in recs)
+    assert "fresh" in [r.get("name") for r in recs]
+
+
+def test_size_guard_default_far_above_test_traffic(trace_file):
+    # No REPRO_TRACE_MAX_MB: the 512 MB default never trips in tests.
+    for i in range(100):
+        event("tick", i=i)
+    trace.end_run()
+    assert not any(
+        r.get("t") == "truncated" for r in read_records(trace_file)
+    )
