@@ -50,6 +50,11 @@ def compare(baseline_dir: Path, current_dir: Path, tolerance: float) -> list[str
                 f"{base['name']}: {ratio:.2f}x over baseline "
                 f"(limit {1 + tol:.2f}x)"
             )
+        elif ratio > 0 and ratio < 1:
+            # Improvements deserve an explicit line in the CI log (and a
+            # hint that the headroom can be banked by re-baselining).
+            print(f"  improvement: {1 / ratio:.2f}x faster than baseline "
+                  "(consider re-baselining to lock it in)")
         speed = cur.get("best_speedup_vs_serial")
         if speed is not None:
             print(f"  speedup at workers={cur.get('best_speedup_workers')}: "

@@ -131,7 +131,11 @@ def bench_warm_all(campaign, fast: bool, fingerprint: str) -> dict:
     }
 
 
-def bench_campaign_cold(fast: bool, worker_counts: list[int]) -> dict:
+def bench_campaign_cold(
+    fast: bool,
+    worker_counts: list[int],
+    step_blocks: list[int] | None = None,
+) -> dict:
     """Time cold campaign generation on :data:`CAMPAIGN_COLD_CELL`.
 
     ``use_cache=False`` keeps every timed run a full generation (no disk
@@ -139,6 +143,12 @@ def bench_campaign_cold(fast: bool, worker_counts: list[int]) -> dict:
     congestion-solve pipeline itself — on the non-default cell, where a
     geometry or registry regression would not be masked by the
     default-cell caches the other scenarios lean on.
+
+    ``step_blocks`` optionally sweeps the batched solver's block size
+    (``REPRO_STEP_BLOCK``) at workers=1 after the worker sweep — an
+    informational curve for picking :data:`repro.config.DEFAULT_STEP_BLOCK`;
+    it is recorded but never gated (results are bit-identical at any
+    block size, only the wall time moves).
     """
     import dataclasses
 
@@ -153,16 +163,20 @@ def bench_campaign_cold(fast: bool, worker_counts: list[int]) -> dict:
     )
     fingerprint = cfg.fingerprint()
     calibration = calibrate()
-    runs = []
-    for workers in worker_counts:
+
+    def one_timed_gen(workers: int) -> float:
         shutdown_pool()
         os.environ["REPRO_WORKERS"] = str(workers)
         try:
             t0 = time.perf_counter()
             gen(cfg)
-            wall = time.perf_counter() - t0
+            return time.perf_counter() - t0
         finally:
             os.environ.pop("REPRO_WORKERS", None)
+
+    runs = []
+    for workers in worker_counts:
+        wall = one_timed_gen(workers)
         runs.append(
             {
                 "workers": workers,
@@ -172,9 +186,27 @@ def bench_campaign_cold(fast: bool, worker_counts: list[int]) -> dict:
         )
         print(f"  campaign_cold workers={workers}: {wall:.2f}s "
               f"({wall / calibration:.1f}x calibration)")
+
+    sweep = []
+    for block in step_blocks or []:
+        os.environ["REPRO_STEP_BLOCK"] = str(block)
+        try:
+            wall = one_timed_gen(workers=1)
+        finally:
+            os.environ.pop("REPRO_STEP_BLOCK", None)
+        sweep.append(
+            {
+                "step_block": block,
+                "wall_s": round(wall, 4),
+                "normalized_wall": round(wall / calibration, 4),
+            }
+        )
+        print(f"  campaign_cold step_block={block}: {wall:.2f}s "
+              f"({wall / calibration:.1f}x calibration)")
+
     serial = next((r for r in runs if r["workers"] == 1), runs[0])
     fastest = min(runs, key=lambda r: r["wall_s"])
-    return {
+    result = {
         "name": "campaign_cold",
         "mode": "fast" if fast else "full",
         "cell": f"{topology}/{routing}",
@@ -188,6 +220,9 @@ def bench_campaign_cold(fast: bool, worker_counts: list[int]) -> dict:
         ),
         "best_speedup_workers": fastest["workers"],
     }
+    if sweep:
+        result["step_block_sweep"] = sweep
+    return result
 
 
 def bench_profile(campaign, fast: bool, fingerprint: str, out_dir: Path) -> dict:
@@ -303,6 +338,10 @@ def main(argv: list[str] | None = None) -> int:
                     help="comma-separated worker counts to sweep")
     ap.add_argument("--fast", action="store_true",
                     help="test-scale campaign (the CI smoke configuration)")
+    ap.add_argument("--step-block", default=None,
+                    help="comma-separated REPRO_STEP_BLOCK values to sweep "
+                    "at workers=1 in the campaign_cold bench (e.g. "
+                    "'1,16,64'; informational, never gated)")
     ap.add_argument("--out", default="benchmarks",
                     help="directory for BENCH_<name>.json files")
     ap.add_argument("--profile", action="store_true",
@@ -312,6 +351,10 @@ def main(argv: list[str] | None = None) -> int:
     args = ap.parse_args(argv)
 
     worker_counts = [int(w) for w in args.workers.split(",")]
+    step_blocks = (
+        [int(b) for b in args.step_block.split(",")]
+        if args.step_block else None
+    )
     # --profile replaces the timed benches unless some were named.
     benches = args.bench or ([] if args.profile else BENCHES)
     out_dir = Path(args.out)
@@ -338,7 +381,7 @@ def main(argv: list[str] | None = None) -> int:
 
     for name in benches:
         if name == "campaign_cold":
-            result = bench_campaign_cold(args.fast, worker_counts)
+            result = bench_campaign_cold(args.fast, worker_counts, step_blocks)
         elif name == "warm_all":
             result = bench_warm_all(campaign, args.fast, fingerprint)
         else:

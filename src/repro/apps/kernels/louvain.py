@@ -144,8 +144,24 @@ def run_louvain_phase(
     owner = np.minimum(
         (np.arange(n) * num_partitions) // n, num_partitions - 1
     )
-    communities = np.arange(n)
-    comm_deg = degrees.copy()  # sum of degrees per community
+
+    # The per-vertex scan runs over tiny neighbour lists, where numpy
+    # array dispatch costs more than the arithmetic; plain Python
+    # containers make the phase several times faster.  All gain/degree
+    # arithmetic is IEEE double either way, performed operation for
+    # operation in the same order as the vectorised formulas, so the
+    # result is unchanged.  Per-vertex neighbour/owner structure is
+    # loop-invariant and hoisted out of the iterations.
+    nbrs_of = [indices[indptr[v]: indptr[v + 1]].tolist() for v in range(n)]
+    owner_l = owner.tolist()
+    remote_of = [
+        sorted({owner_l[u] for u in nbrs_of[v]} - {owner_l[v]})
+        for v in range(n)
+    ]
+    degrees_l = degrees.tolist()
+    comm_l = list(range(n))
+    comm_deg_l = degrees.tolist()  # sum of degrees per community
+    two_m2 = two_m * two_m
 
     modularity: list[float] = []
     moved_counts: list[int] = []
@@ -159,40 +175,47 @@ def run_louvain_phase(
             rows, cols = adj.nonzero()
             cut = owner[rows] != owner[cols]
             np.add.at(tr, (owner[rows[cut]], owner[cols[cut]]), UPDATE_BYTES)
+        tr_l = tr.tolist()
         order = rng.permutation(n)
-        for v in order:
-            beg, end = indptr[v], indptr[v + 1]
-            nbrs = indices[beg:end]
-            if len(nbrs) == 0:
+        for v in order.tolist():
+            nbrs = nbrs_of[v]
+            if not nbrs:
                 continue
-            c_old = communities[v]
+            c_old = comm_l[v]
             # Edge weight towards each neighbouring community.
-            nbr_comms = communities[nbrs]
-            uniq, inv = np.unique(nbr_comms, return_inverse=True)
-            weights = np.bincount(inv).astype(np.float64)
-            k_v = degrees[v]
+            counts: dict[int, int] = {}
+            for u in nbrs:
+                c = comm_l[u]
+                counts[c] = counts.get(c, 0) + 1
+            k_v = degrees_l[v]
             # Modularity gain of joining community c:
             #   w(v->c)/m - k_v * deg(c) / (2 m^2)   (constant terms drop)
-            deg_c = comm_deg[uniq] - np.where(uniq == c_old, k_v, 0.0)
-            gain = weights / two_m - k_v * deg_c / (two_m * two_m)
-            # Gain of staying put.
+            # Scanned in sorted community order with a strict ">" so the
+            # winner is the first maximum, exactly like argmax over the
+            # sorted-unique community vector.
             stay = 0.0
-            if (uniq == c_old).any():
-                stay = gain[uniq == c_old][0]
-            best = int(np.argmax(gain))
-            if gain[best] > stay + 1e-15 and uniq[best] != c_old:
-                c_new = int(uniq[best])
-                comm_deg[c_old] -= k_v
-                comm_deg[c_new] += k_v
-                communities[v] = c_new
+            best_c = -1
+            best_gain = -np.inf
+            for c in sorted(counts):
+                deg_c = comm_deg_l[c] - k_v if c == c_old else comm_deg_l[c]
+                g = counts[c] / two_m - k_v * deg_c / two_m2
+                if c == c_old:
+                    stay = g
+                if g > best_gain:
+                    best_gain = g
+                    best_c = c
+            if best_gain > stay + 1e-15 and best_c != c_old:
+                comm_deg_l[c_old] -= k_v
+                comm_deg_l[best_c] += k_v
+                comm_l[v] = best_c
                 moved += 1
                 # Announce the move to remote owners of the neighbours.
-                remote = np.unique(owner[nbrs])
-                remote = remote[remote != owner[v]]
-                tr[owner[v], remote] += UPDATE_BYTES
+                row = tr_l[owner_l[v]]
+                for r in remote_of[v]:
+                    row[r] += UPDATE_BYTES
         moved_counts.append(moved)
-        traffic.append(tr)
-        modularity.append(_modularity(adj, communities, two_m))
+        traffic.append(np.array(tr_l))
+        modularity.append(_modularity(adj, np.asarray(comm_l), two_m))
         if moved < min_moved_fraction * n:
             break
 

@@ -38,7 +38,10 @@ import numpy as np
 
 from repro.config import rng_for
 from repro.network.engine import BaseLoad, CongestionEngine, NetworkState
-from repro.network.counters import synthesize_router_counters
+from repro.network.counters import (
+    synthesize_router_counters,
+    synthesize_router_counters_block,
+)
 from repro.network.ldms import LDMSSampler
 from repro.obs import span
 from repro.obs.profile import profiled_span
@@ -61,9 +64,21 @@ __all__ = [
 #: surface as a clean :class:`CampaignWorkerError`, never a hang.
 _CRASH_ENV = "REPRO_TEST_WORKER_CRASH"
 
+#: Env hook selecting the per-run solver: ``reference`` runs the frozen
+#: per-step loop (:func:`_solve_one_run_reference`), anything else (or
+#: unset) the batched step-block solver.  Both produce bit-identical
+#: results; the reference path exists so tests can prove it.
+_SOLVER_ENV = "REPRO_SOLVER"
+
 #: Routing-geometry contexts kept alive per worker between the
 #: contribution phase and the solve phase (LRU; rebuilt on miss).
-_CTX_CACHE_CAP = 12
+#: Contexts are a few MB each at benchmark scale; 64 keeps every probe
+#: placement of a months-long campaign resident in the common case where
+#: a handful of apps cycle through O(10) placements, while still
+#: bounding memory for adversarial campaigns.  ``REPRO_CTX_CACHE``
+#: overrides (cache size never affects results — rebuilds are
+#: deterministic).
+_CTX_CACHE_CAP = int(os.environ.get("REPRO_CTX_CACHE", "") or 64)
 
 
 class CampaignWorkerError(WorkerPoolError):
@@ -248,14 +263,13 @@ def _task_bg_contributions(
 ) -> list[tuple[int, BaseLoad, BaseLoad]]:
     """(steady comm, filesystem) contributions per background job."""
     env = _require_env()
-    out = []
     with profiled_span("campaign.task.bg_contributions", n=len(specs)):
-        for spec in specs:
-            comm, io = env.bg_model.contribution_for(
-                spec.job_id, spec.user, spec.nodes
-            )
-            out.append((spec.job_id, comm, io))
-    return out
+        pairs = env.bg_model.contributions_for_batch(
+            [(spec.job_id, spec.user, spec.nodes) for spec in specs]
+        )
+    return [
+        (spec.job_id, comm, io) for spec, (comm, io) in zip(specs, pairs)
+    ]
 
 
 def _task_solve_runs(
@@ -279,9 +293,26 @@ def _solve_one_run(
     windows: dict[int, tuple[BaseLoad, BaseLoad]],
     env: WorkerEnv,
 ) -> RunResult:
-    """The per-run solve loop (moved verbatim from the serial runner).
+    """Solve one probe run (batched step-block solver by default).
 
-    Steps are solved in step order; every random draw comes from a
+    ``REPRO_SOLVER=reference`` selects the frozen per-step loop instead;
+    the equality tests run both and assert byte-identical results.
+    """
+    if os.environ.get(_SOLVER_ENV, "").strip() == "reference":
+        return _solve_one_run_reference(task, windows, env)
+    return _solve_one_run_batched(task, windows, env)
+
+
+def _solve_one_run_reference(
+    task: RunTask,
+    windows: dict[int, tuple[BaseLoad, BaseLoad]],
+    env: WorkerEnv,
+) -> RunResult:
+    """The original per-step solve loop, kept frozen as the reference.
+
+    :func:`_solve_one_run_batched` must reproduce this loop's output
+    byte for byte; do not modify one without the other.  Steps are
+    solved in step order; every random draw comes from a
     ``(job_id[, step])``-labelled stream, so the result is independent of
     which worker runs this and of whatever ran before it.
     """
@@ -392,6 +423,184 @@ def _solve_one_run(
         comp_t[step] = t_comp
         mpi_t[step] = t_mpi
         ldms_t[step] = [ldms_vals[n] for n in LDMS_FEATURES]
+
+    prof = profile_run(
+        app, comp_t, mpi_t, rng=rng_for("mpip", task.job_id, seed=seed)
+    )
+    return RunResult(
+        pi=task.pi,
+        step_times=step_t,
+        compute_times=comp_t,
+        mpi_times=mpi_t,
+        counters=collector.matrix(),
+        ldms=ldms_t,
+        routine_times=prof.routine_times,
+    )
+
+
+def _solve_one_run_batched(
+    task: RunTask,
+    windows: dict[int, tuple[BaseLoad, BaseLoad]],
+    env: WorkerEnv,
+) -> RunResult:
+    """Batched step-block solver: bit-identical to the reference loop.
+
+    Steps are processed in blocks of up to ``REPRO_STEP_BLOCK`` steps
+    sharing one background window.  Per block, the per-step background
+    ``BaseLoad`` construction, the network solve
+    (:meth:`ProbeRunContext.solve_steps`), both counter syntheses
+    (:func:`synthesize_router_counters_block`), counter collection
+    (:meth:`AriesNCL.record_steps`) and LDMS sampling
+    (:meth:`LDMSSampler.sample_steps`) each run once over
+    ``(steps, links)`` / ``(steps, routers)`` arrays.
+
+    Bit-identity with :func:`_solve_one_run_reference` rests on three
+    invariants (each asserted by the equality tests):
+
+    * every batched array op is elementwise/broadcast, an exact
+      ``maximum`` reduction, or an explicit per-row 1-D ``bincount`` /
+      sum / dot — never a BLAS matmul or an axis-0 reduction, which
+      reorder FP accumulation;
+    * scalar chains that feed Python ``float`` arithmetic (step-time
+      products, ``blended_slowdown``'s ``**``) stay per-step scalar;
+    * RNG streams are consumed in the reference order: the per-step
+      ``"steps"`` stream yields (volume, residual, compute) upfront —
+      the solve never touches it — and the ``"ncl"`` / ``"ldms"``
+      draws happen step-major inside the batched collectors.
+    """
+    from repro.apps.registry import get_application
+    from repro.campaign.datasets import LDMS_FEATURES
+    from repro.campaign.runner import (
+        COUNTER_NOISE,
+        _PT_FLIT_FAMILY,
+        _RT_FLIT_FAMILY,
+        _burst_series,
+        _long_step_model,
+    )
+    from repro.config import resolve_step_block
+
+    topo = env.topology
+    seed = env.seed
+    app = get_application(task.key)
+    sm = (
+        _long_step_model(app, task.long_steps)
+        if task.long_steps
+        else app.step_model()
+    )
+    ctx = _get_context(task.job_id, task.key, task.long_steps, task.nodes,
+                       keep=False)
+    self_comm = ctx.mean_contribution()
+
+    durations = sm.compute + sm.mpi
+    mids = task.start_time + np.cumsum(durations) - durations / 2
+    burst = _burst_series(mids, rng_for("burst", task.job_id, seed=seed))
+    collector = AriesNCL(
+        topo,
+        ctx.routers,
+        rng=rng_for("ncl", task.job_id, seed=seed),
+        noise=COUNTER_NOISE,
+    )
+    n_steps = sm.num_steps
+    step_t = np.zeros(n_steps)
+    comp_t = np.zeros(n_steps)
+    mpi_t = np.zeros(n_steps)
+    ldms_t = np.zeros((n_steps, len(LDMS_FEATURES)))
+
+    # Per-step stochastic factors, drawn upfront in the reference order
+    # (volume, residual, compute within each step's own stream).
+    vol_noise = np.empty(n_steps)
+    res_noise = np.empty(n_steps)
+    comp_noise = np.empty(n_steps)
+    for step in range(n_steps):
+        rng = rng_for("steps", task.job_id, step, seed=seed)
+        vol_noise[step] = rng.lognormal(0.0, app.intensity_sigma)
+        res_noise[step] = rng.lognormal(0.0, app.residual_sigma)
+        comp_noise[step] = rng.lognormal(0.0, app.compute_sigma)
+
+    block_cap = resolve_step_block()
+    window_ids = np.asarray(task.window_ids)
+    weather = np.asarray(task.weather, dtype=np.float64)
+
+    start = 0
+    while start < n_steps:
+        wid = int(window_ids[start])
+        end = start + 1
+        while (
+            end < n_steps
+            and int(window_ids[end]) == wid
+            and end - start < block_cap
+        ):
+            end += 1
+        steps = list(range(start, end))
+        nb = end - start
+        comm, io = windows[wid]
+
+        # Background at each step midpoint (see the reference loop).
+        bcol = burst[start:end, None]
+        wcol = weather[start:end, None]
+
+        def _bg(c: np.ndarray, i: np.ndarray, s: np.ndarray) -> np.ndarray:
+            return np.maximum(bcol * c + wcol * i - bcol * s, 0.0)
+
+        bg = BaseLoad(
+            _bg(comm.link_loads, io.link_loads, self_comm.link_loads),
+            _bg(comm.inj, io.inj, self_comm.inj),
+            _bg(comm.ej, io.ej, self_comm.ej),
+            _bg(comm.vc4, io.vc4, self_comm.vc4),
+        )
+        intensities = sm.intensity[start:end] * vol_noise[start:end]
+        loads, inj, ej, vc4, fabric_s, endpoint_s = ctx.solve_steps(
+            bg, intensities
+        )
+
+        # Step times: scalar chains kept per-step (blended_slowdown's
+        # ``**`` must see Python floats, as in the reference).
+        t_nominal_b = np.empty(nb)
+        for i, step in enumerate(steps):
+            blended = app.blended_slowdown(
+                float(fabric_s[i]), float(endpoint_s[i])
+            )
+            t_mpi = (
+                sm.mpi[step]
+                * float(vol_noise[step])
+                * blended
+                * float(res_noise[step])
+            )
+            t_comp = sm.compute[step] * float(comp_noise[step])
+            step_t[step] = t_comp + t_mpi
+            comp_t[step] = t_comp
+            mpi_t[step] = t_mpi
+            t_nominal_b[i] = float(sm.compute[step] + sm.mpi[step])
+        t_step_b = step_t[start:end]
+
+        rates = synthesize_router_counters_block(topo, loads, inj, ej, vc4)
+        bg_rates = synthesize_router_counters_block(
+            topo, bg.link_loads, bg.inj, bg.ej, bg.vc4
+        )
+        ratio = (t_nominal_b / t_step_b)[:, None]
+        job_rates = {}
+        for name, total_rate in rates.items():
+            if name in _PT_FLIT_FAMILY:
+                own = np.maximum(total_rate - bg_rates[name], 0.0)
+                job_rates[name] = own * ratio
+            elif name in _RT_FLIT_FAMILY:
+                own = np.maximum(total_rate - bg_rates[name], 0.0)
+                job_rates[name] = own * ratio + bg_rates[name]
+            else:
+                job_rates[name] = total_rate
+
+        durations_b = [float(step_t[s]) for s in steps]
+        collector.record_steps(steps, durations_b, job_rates)
+        ldms_vals = env.sampler.sample_steps(
+            ctx.routers,
+            durations_b,
+            [rng_for("ldms", task.job_id, s, seed=seed) for s in steps],
+            rates,
+            noise=COUNTER_NOISE,
+        )
+        for i, step in enumerate(steps):
+            ldms_t[step] = [ldms_vals[i][n] for n in LDMS_FEATURES]
+        start = end
 
     prof = profile_run(
         app, comp_t, mpi_t, rng=rng_for("mpip", task.job_id, seed=seed)

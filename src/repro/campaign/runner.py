@@ -293,6 +293,21 @@ class _SegMax:
             )
         return out
 
+    def block(self, per_link: np.ndarray) -> np.ndarray:
+        """Batched :meth:`__call__`: ``(steps, links)`` -> ``(steps, flows)``.
+
+        One axis-1 gather plus one ``maximum.reduceat`` along axis 1.
+        ``maximum`` is an exact reduction (no rounding), so the batched
+        rows are bit-identical to per-step calls regardless of how the
+        reduction is ordered internally.
+        """
+        out = np.zeros((per_link.shape[0], self.n_flows))
+        if len(self.link):
+            out[:, self.seg_flows] = np.maximum.reduceat(
+                per_link[:, self.link], self.seg_starts, axis=1
+            )
+        return out
+
 
 class ProbeRunContext:
     """Placement-bound solving state for one probe run.
@@ -405,6 +420,93 @@ class ProbeRunContext:
             float(fabric @ w) if len(w) else 1.0,
             float(endpoint @ w) if len(w) else 1.0,
         )
+
+    def solve_steps(
+        self, base: BaseLoad, intensities: np.ndarray
+    ) -> tuple[np.ndarray, ...]:
+        """Solve a block of steps in one pass (batched :meth:`solve_step`).
+
+        ``base`` carries the per-step background stacked as
+        ``(steps, links)`` / ``(steps, routers)`` arrays; ``intensities``
+        is one probe intensity per step.  Returns ``(link_loads, inj,
+        ej, vc4, fabric, endpoint)``: the solved per-step state arrays
+        plus the per-step volume-weighted slowdown scalars.
+
+        Bit-identical to calling :meth:`solve_step` per step: every
+        batched operation is either elementwise/broadcast (same scalar
+        arithmetic per element), an exact ``maximum`` reduction
+        (:meth:`_SegMax.block`), or an explicitly per-row 1-D dot —
+        2-D matmul is avoided because BLAS gemv/gemm reorder the
+        accumulation and would change low-order bits.
+        """
+        from repro.config import NIC_BW
+
+        topo = self.topology
+        eng = self.engine
+        cap = topo.link_capacity
+        s = np.asarray(intensities)[:, None]
+        n = s.shape[0]
+        a0 = eng.alpha0
+
+        # a0 and the fixed path-set vectors are step-invariant, so the
+        # first-pass mix is computed once for the block (same expression,
+        # same value, as the per-step form).
+        mix0 = a0 * self.load_min + (1 - a0) * self.load_val
+        loads0 = base.link_loads + s * mix0
+        util0 = loads0 / cap
+        u_min = np.maximum(
+            self.seg_min_edge.block(util0),
+            MID_HOP_DISCOUNT * self.seg_min_mid.block(util0),
+        )
+        u_val = np.maximum(
+            self.seg_val_edge.block(util0),
+            MID_HOP_DISCOUNT * self.seg_val_mid.block(util0),
+        )
+        if eng.pinned:
+            alpha_f = np.full(u_min.shape, a0)
+        else:
+            alpha_f = np.clip(a0 + eng.ugal_gain * (u_val - u_min), 0.25, 0.98)
+        w = self.vol_weights
+        if len(w):
+            a = np.empty(n)
+            for i in range(n):
+                a[i] = float(alpha_f[i] @ w)
+        else:
+            a = np.full(n, a0)
+
+        loads = base.link_loads + s * (
+            a[:, None] * self.load_min + (1 - a)[:, None] * self.load_val
+        )
+        inj = base.inj + s * self.inj_unit
+        ej = base.ej + s * self.ej_unit
+        vc4 = base.vc4 + s * self.vc4_unit
+
+        path_util = alpha_f * u_min + (1.0 - alpha_f) * u_val
+        fabric = slowdown_curve(path_util)
+        nic_util = (inj + ej) / (topo.nodes_per_router * NIC_BW)
+        if len(self.flows):
+            # Axis-1 advanced indexing yields a Fortran-ordered array;
+            # force C order so each row below is a contiguous vector —
+            # the strided-row dot kernel rounds differently from the
+            # contiguous one the per-step path uses.
+            ep_util = np.ascontiguousarray(
+                np.maximum(
+                    nic_util[:, self.flows.src], nic_util[:, self.flows.dst]
+                )
+            )
+        else:
+            ep_util = np.empty((n, 0))
+        endpoint = slowdown_curve(ep_util)
+        fabric_s = np.empty(n)
+        endpoint_s = np.empty(n)
+        if len(w):
+            for i in range(n):
+                fabric_s[i] = float(fabric[i] @ w)
+                endpoint_s[i] = float(endpoint[i] @ w)
+        else:
+            fabric_s[:] = 1.0
+            endpoint_s[:] = 1.0
+        return loads, inj, ej, vc4, fabric_s, endpoint_s
 
 
 # --------------------------------------------------------------------------- #
@@ -530,6 +632,95 @@ class BackgroundTrafficModel:
     def contribution(self, job: JobRecord) -> tuple[BaseLoad, BaseLoad]:
         """Convenience wrapper over :meth:`contribution_for`."""
         return self.contribution_for(job.job_id, job.user, job.nodes)
+
+    def _solve_static_batch(self, flow_sets: list[FlowSet]) -> list[BaseLoad]:
+        """Map :meth:`_solve_static` over many flow sets in one pass.
+
+        Bit-identical to the per-set loop by construction: the router's
+        deterministic samplers key on ``(src, dst)`` and the per-set flow
+        index (restored via ``flow_ids``), never on position within the
+        call, so the concatenated routing emits each flow's solo links.
+        Per-``(set, link)`` bincount keys then preserve each set's
+        accumulation order — entries for different sets land in different
+        bins, so every bin sums the exact solo sequence.
+        """
+        topo = self.topology
+        n_sets = len(flow_sets)
+        num_links = topo.num_links
+        r = topo.num_routers
+        sizes = np.array([len(fs) for fs in flow_sets], dtype=np.int64)
+        if sizes.sum() == 0:
+            return [BaseLoad.zeros(topo) for _ in flow_sets]
+        src = np.concatenate([fs.src for fs in flow_sets])
+        dst = np.concatenate([fs.dst for fs in flow_sets])
+        vol = np.concatenate([fs.volume for fs in flow_sets])
+        fid = np.concatenate([np.arange(s, dtype=np.int64) for s in sizes])
+        routing = self.engine.router.route(src, dst, rng=None, flow_ids=fid)
+        set_of = np.repeat(np.arange(n_sets, dtype=np.int64), sizes)
+        a0 = self.engine.alpha0
+
+        def loads2(inc, vols: np.ndarray) -> np.ndarray:
+            if not inc.nnz:
+                return np.zeros((n_sets, num_links))
+            return np.bincount(
+                set_of[inc.flow] * num_links + inc.link,
+                weights=vols[inc.flow] * inc.share,
+                minlength=n_sets * num_links,
+            ).reshape(n_sets, num_links)
+
+        link2 = loads2(routing.minimal, vol * a0)
+        link2 += loads2(routing.valiant, vol * (1.0 - a0))
+        inj2 = np.bincount(
+            set_of * r + src, weights=vol, minlength=n_sets * r
+        ).reshape(n_sets, r)
+        ej2 = np.bincount(
+            set_of * r + dst, weights=vol, minlength=n_sets * r
+        ).reshape(n_sets, r)
+        return [
+            BaseLoad(
+                link_loads=link2[j].copy(),
+                inj=inj2[j].copy(),
+                ej=ej2[j].copy(),
+                vc4=inj2[j] * fs.response_ratio,
+            )
+            for j, fs in enumerate(flow_sets)
+        ]
+
+    def contributions_for_batch(
+        self, specs: list[tuple[int, str, np.ndarray]]
+    ) -> list[tuple[BaseLoad, BaseLoad]]:
+        """Batched :meth:`contribution_for` over ``(job_id, user, nodes)``.
+
+        Builds every job's flow geometry, then routes and bin-sums all of
+        them in two :meth:`_solve_static_batch` passes (communication and
+        filesystem) instead of two small routing calls per job — the cold
+        campaign path hands each worker its whole chunk at once.
+        """
+        comm_sets = [
+            self.flows_for(job_id, user, nodes)
+            for job_id, user, nodes in specs
+        ]
+        comm = self._solve_static_batch(comm_sets)
+        io: list[BaseLoad] = [BaseLoad.zeros(self.topology) for _ in specs]
+        io_idx: list[int] = []
+        io_sets: list[FlowSet] = []
+        for i, (_, user, nodes) in enumerate(specs):
+            arch = self.population.by_name(user)
+            if arch.io_intensity > 0:
+                io_idx.append(i)
+                io_sets.append(
+                    io_flows(
+                        self.topology,
+                        nodes,
+                        bytes_per_sec=arch.io_intensity
+                        * len(nodes)
+                        * self.intensity,
+                    )
+                )
+        if io_sets:
+            for i, load in zip(io_idx, self._solve_static_batch(io_sets)):
+                io[i] = load
+        return list(zip(comm, io))
 
 
 class IOWeather:

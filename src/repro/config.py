@@ -174,13 +174,22 @@ def rng_for(*stream: object, seed: int = DEFAULT_SEED) -> np.random.Generator:
         if isinstance(part, (int, np.integer)):
             entropy.append(int(part) & 0xFFFFFFFF)
         else:
-            # Stable 32-bit hash of the textual label (hash() is salted per
-            # process, so it must not be used here).
-            h = 2166136261
-            for ch in str(part).encode():
-                h = ((h ^ ch) * 16777619) & 0xFFFFFFFF
+            key = str(part)
+            h = _label_hash_cache.get(key)
+            if h is None:
+                # Stable 32-bit hash of the textual label (hash() is
+                # salted per process, so it must not be used here).
+                h = 2166136261
+                for ch in key.encode():
+                    h = ((h ^ ch) * 16777619) & 0xFFFFFFFF
+                _label_hash_cache[key] = h
             entropy.append(h)
     return np.random.default_rng(np.random.SeedSequence(entropy))
+
+
+#: Memoised FNV-1a label hashes for :func:`rng_for` (labels are few and
+#: reused thousands of times per campaign; values are unaffected).
+_label_hash_cache: dict[str, int] = {}
 
 
 def resolve_workers(requested: int | None = None) -> int:
@@ -207,6 +216,41 @@ def resolve_workers(requested: int | None = None) -> int:
         return 1
     if requested <= 0:
         return os.cpu_count() or 1
+    return requested
+
+
+#: Default step-block size for the batched campaign solver: each probe
+#: run's steps are solved in blocks of up to this many steps (grouped by
+#: background window).  64 keeps the per-block scratch matrices at a few
+#: megabytes at benchmark scale while amortising per-step NumPy dispatch
+#: overhead; the result is bit-identical for any block size.
+DEFAULT_STEP_BLOCK = 64
+
+
+def resolve_step_block(requested: int | None = None) -> int:
+    """Resolve the batched solver's step-block size.
+
+    Precedence: the ``REPRO_STEP_BLOCK`` environment variable, then
+    ``requested``, then :data:`DEFAULT_STEP_BLOCK`.  The value bounds the
+    ``(steps, links)`` scratch matrices of the batched step-block solver
+    (see :meth:`repro.campaign.runner.ProbeRunContext.solve_steps`); it
+    never changes generated data, so it is *not* part of any cache
+    fingerprint.  Must be >= 1.
+    """
+    env = os.environ.get("REPRO_STEP_BLOCK", "").strip()
+    if env:
+        try:
+            requested = int(env)
+        except ValueError:
+            raise ValueError(
+                f"REPRO_STEP_BLOCK must be an integer, got {env!r}"
+            ) from None
+    if requested is None:
+        return DEFAULT_STEP_BLOCK
+    if requested < 1:
+        raise ValueError(
+            f"step block size must be >= 1, got {requested}"
+        )
     return requested
 
 

@@ -208,40 +208,44 @@ def spec_by_abbreviation(abbrev: str) -> CounterSpec:
 # ---------------------------------------------------------------------------
 
 
-def synthesize_router_counters(state: NetworkState) -> dict[str, np.ndarray]:
-    """Per-router counter *rates* (events/second) from a network state.
+def _counter_rates(
+    rt_flit: np.ndarray,
+    rt_stall: np.ndarray,
+    rt_mean_util: np.ndarray,
+    nic_util: np.ndarray,
+    pt_stall_total: np.ndarray,
+    ej: np.ndarray,
+    vc4: np.ndarray,
+) -> dict[str, np.ndarray]:
+    """The Table II rate formulas over router-aggregate inputs.
 
-    Returns a dict mapping each abbreviation in :data:`APP_COUNTERS` to a
-    float vector of length ``num_routers``.  Integrate over an interval to
-    get counter deltas.
+    Every operation is elementwise, so the same formulas serve the
+    per-state ``(routers,)`` view and the batched ``(steps, routers)``
+    view bit-identically.
     """
     from repro.config import FLIT_BYTES
 
-    # Router-tile side: traffic and stalls on inter-router links.
-    rt_flit = state.rt_flit_rate
-    rt_stall = state.rt_stall_rate
     rt_pkt = rt_flit / MEAN_PACKET_FLITS
     # Two simultaneous stalls happen when multiple input queues back up;
     # quadratic in mean utilisation.
-    rt_2x = rt_stall * np.minimum(state.rt_mean_util, 1.0)
+    rt_2x = rt_stall * np.minimum(rt_mean_util, 1.0)
 
     # Processor-tile side: endpoint traffic to/from this router's NICs.
-    vc4_flit = state.vc4 / FLIT_BYTES
-    vc0_flit = state.ej / FLIT_BYTES
+    vc4_flit = vc4 / FLIT_BYTES
+    vc0_flit = ej / FLIT_BYTES
     pt_flit = vc0_flit + vc4_flit
     pt_pkt = pt_flit / MEAN_PACKET_FLITS
 
-    pt_stall_total = state.pt_stall_rate
     pt_rb_stl_rq = pt_stall_total * _RQ_STALL_SHARE
     pt_rb_stl_rs = pt_stall_total * (1.0 - _RQ_STALL_SHARE)
     # Column-buffer stalls: downstream of the row bus, plus a coupling from
     # fabric backpressure reaching the endpoint.
     fabric_echo = _CB_FABRIC_COUPLING * rt_stall * np.minimum(
-        state.nic_util / np.maximum(state.rt_mean_util, 1e-9), 1.0
+        nic_util / np.maximum(rt_mean_util, 1e-9), 1.0
     )
     pt_cb_stl_rq = 0.7 * pt_rb_stl_rq + _RQ_STALL_SHARE * fabric_echo
     pt_cb_stl_rs = 0.7 * pt_rb_stl_rs + (1 - _RQ_STALL_SHARE) * fabric_echo
-    pt_2x = pt_stall_total * np.minimum(state.nic_util, 1.0)
+    pt_2x = pt_stall_total * np.minimum(nic_util, 1.0)
 
     return {
         "RT_FLIT_TOT": rt_flit,
@@ -260,6 +264,81 @@ def synthesize_router_counters(state: NetworkState) -> dict[str, np.ndarray]:
     }
 
 
+def synthesize_router_counters(state: NetworkState) -> dict[str, np.ndarray]:
+    """Per-router counter *rates* (events/second) from a network state.
+
+    Returns a dict mapping each abbreviation in :data:`APP_COUNTERS` to a
+    float vector of length ``num_routers``.  Integrate over an interval to
+    get counter deltas.
+    """
+    return _counter_rates(
+        rt_flit=state.rt_flit_rate,
+        rt_stall=state.rt_stall_rate,
+        rt_mean_util=state.rt_mean_util,
+        nic_util=state.nic_util,
+        pt_stall_total=state.pt_stall_rate,
+        ej=state.ej,
+        vc4=state.vc4,
+    )
+
+
+def synthesize_router_counters_block(
+    topology,
+    link_loads: np.ndarray,
+    inj: np.ndarray,
+    ej: np.ndarray,
+    vc4: np.ndarray,
+) -> dict[str, np.ndarray]:
+    """Batched :func:`synthesize_router_counters` over a block of steps.
+
+    ``link_loads`` is ``(steps, links)``; ``inj``/``ej``/``vc4`` are
+    ``(steps, routers)``.  Returns each counter rate as a
+    ``(steps, routers)`` matrix whose rows are bit-identical to building
+    a :class:`NetworkState` per step and synthesising from it: the
+    router aggregates use the same per-row ``bincount``
+    (:meth:`~repro.topology.base.Topology.router_link_sums`) and every
+    rate formula is elementwise, so batching cannot change FP order.
+    """
+    from repro.config import FLIT_BYTES, NIC_BW
+    from repro.network.engine import STALL_SCALE, stall_curve
+
+    link_util = link_loads / topology.link_capacity
+    link_stall = ROUTER_CLOCK_HZ * STALL_SCALE * stall_curve(link_util)
+    nic_util = (inj + ej) / (topology.nodes_per_router * NIC_BW)
+    return _counter_rates(
+        rt_flit=topology.router_link_sums(link_loads) / FLIT_BYTES,
+        rt_stall=topology.router_link_sums(link_stall),
+        rt_mean_util=(
+            topology.router_link_sums(link_util)
+            / np.maximum(topology.link_dst_counts, 1)
+        ),
+        nic_util=nic_util,
+        pt_stall_total=ROUTER_CLOCK_HZ * STALL_SCALE * stall_curve(nic_util),
+        ej=ej,
+        vc4=vc4,
+    )
+
+
+def counters_to_matrix(
+    router_rates: dict[str, np.ndarray],
+    names: list[str] | None = None,
+) -> np.ndarray:
+    """Stack a counter dict into one array ordered by ``names``.
+
+    For per-router rate vectors this yields the ``(len(names), routers)``
+    matrix the batched collector consumes; per-step ``(steps, routers)``
+    rate matrices stack to ``(len(names), steps, routers)``, and scalar
+    counter values stack to a plain feature vector.  Rows are views
+    copied in ``names`` order, so element values and ordering match the
+    per-name dict lookups exactly.
+    """
+    if names is None:
+        names = list(router_rates)
+    return np.stack(
+        [np.asarray(router_rates[n], dtype=np.float64) for n in names]
+    )
+
+
 def aggregate_counters(
     router_rates: dict[str, np.ndarray],
     routers: np.ndarray,
@@ -273,9 +352,13 @@ def aggregate_counters(
     sampling on Aries is not perfectly aligned with step boundaries).
     """
     routers = np.asarray(routers)
+    names = list(router_rates)
+    matrix = counters_to_matrix(router_rates, names)
     out: dict[str, float] = {}
-    for name, rates in router_rates.items():
-        value = float(rates[routers].sum()) * duration
+    for i, name in enumerate(names):
+        # Per-row 1-D sums: identical accumulation order to summing the
+        # per-name vectors directly.
+        value = float(matrix[i][routers].sum()) * duration
         if rng is not None and noise > 0:
             value *= float(rng.lognormal(mean=0.0, sigma=noise))
         out[name] = value
@@ -284,4 +367,4 @@ def aggregate_counters(
 
 def counters_to_vector(counters: dict[str, float], names: list[str]) -> np.ndarray:
     """Order a counter dict into a feature vector by ``names``."""
-    return np.array([counters[n] for n in names], dtype=np.float64)
+    return counters_to_matrix(counters, names)

@@ -193,28 +193,18 @@ class NetworkState:
     @cached_property
     def rt_flit_rate(self) -> np.ndarray:
         """Flits/second arriving on each router's network tiles."""
-        _, dst = self.topology.link_endpoints
-        return (
-            np.bincount(dst, weights=self.link_loads, minlength=self.topology.num_routers)
-            / FLIT_BYTES
-        )
+        return self.topology.router_link_sums(self.link_loads) / FLIT_BYTES
 
     @cached_property
     def rt_stall_rate(self) -> np.ndarray:
         """Stall cycles/second on each router's network input queues."""
-        _, dst = self.topology.link_endpoints
-        return np.bincount(
-            dst, weights=self.link_stall_rate, minlength=self.topology.num_routers
-        )
+        return self.topology.router_link_sums(self.link_stall_rate)
 
     @cached_property
     def rt_mean_util(self) -> np.ndarray:
         """Mean utilisation of links terminating at each router."""
-        _, dst = self.topology.link_endpoints
-        cnt = np.bincount(dst, minlength=self.topology.num_routers)
-        tot = np.bincount(
-            dst, weights=self.link_util, minlength=self.topology.num_routers
-        )
+        cnt = self.topology.link_dst_counts
+        tot = self.topology.router_link_sums(self.link_util)
         return tot / np.maximum(cnt, 1)
 
     # ---- router-level aggregates (endpoint/PT side) ------------------- #
@@ -309,7 +299,6 @@ class CongestionEngine:
 
         alphas = [np.full(it.routing.n_flows, self.alpha0) for it in items]
 
-        loads = base.link_loads.copy()
         for _ in range(max(1, self.iterations)):
             loads = base.link_loads.copy()
             for it, alpha in zip(items, alphas):

@@ -74,3 +74,55 @@ class LDMSSampler:
             out[f"IO_{short}"] = io_val
             out[f"SYS_{short}"] = sys_val
         return out
+
+    def sample_steps(
+        self,
+        job_routers: np.ndarray,
+        durations: list[float],
+        rngs: list[np.random.Generator] | None,
+        router_rates: dict[str, np.ndarray],
+        noise: float = 0.02,
+    ) -> list[dict[str, float]]:
+        """Batched :meth:`sample` over a block of steps.
+
+        ``router_rates`` maps counter names to ``(steps, routers)`` rate
+        matrices; ``durations`` holds one interval length per step and
+        ``rngs`` one generator per step (``rng_for("ldms", job, step)``,
+        or ``None`` for no jitter).  Bit-identical to calling
+        :meth:`sample` step by step: the role masks depend only on the
+        placement so they are hoisted out of the loop, each masked sum
+        reduces the same row values in the same order, and each step's
+        generator draws the same eight lognormals in the same order.
+        """
+        topo = self.topology
+        io_mask = topo.io_router_mask
+        sys_mask = np.ones(topo.num_routers, dtype=bool)
+        sys_mask[np.asarray(job_routers)] = False
+        sys_mask &= ~io_mask  # io routers are reported in the io group
+
+        shorts = ("RT_FLIT_TOT", "RT_RB_STL", "PT_FLIT_TOT", "PT_PKT_TOT")
+        # One mask gather per counter for the whole block; each gathered
+        # row holds the same values in the same order as the per-step
+        # gather, so the 1-D sums are bit-equal.  Axis-1 gathers come
+        # back Fortran-ordered; force C order so every row reduction
+        # runs the same contiguous kernel as the per-step path.
+        io_sub = {
+            s: np.ascontiguousarray(router_rates[s][:, io_mask]) for s in shorts
+        }
+        sys_sub = {
+            s: np.ascontiguousarray(router_rates[s][:, sys_mask]) for s in shorts
+        }
+        out: list[dict[str, float]] = []
+        for i, duration in enumerate(durations):
+            rng = rngs[i] if rngs is not None else None
+            vals: dict[str, float] = {}
+            for short in shorts:
+                io_val = float(io_sub[short][i].sum()) * duration
+                sys_val = float(sys_sub[short][i].sum()) * duration
+                if rng is not None and noise > 0:
+                    io_val *= float(rng.lognormal(0.0, noise))
+                    sys_val *= float(rng.lognormal(0.0, noise))
+                vals[f"IO_{short}"] = io_val
+                vals[f"SYS_{short}"] = sys_val
+            out.append(vals)
+        return out

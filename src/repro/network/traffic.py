@@ -68,12 +68,26 @@ class FlowSet:
         return FlowSet(self.src, self.dst, self.volume * factor, self.response_ratio)
 
     def aggregated(self, num_routers: int) -> "FlowSet":
-        """Merge duplicate (src, dst) pairs, summing volumes."""
+        """Merge duplicate (src, dst) pairs, summing volumes.
+
+        Both branches sum each pair's volumes in entry order (``bincount``
+        accumulates sequentially), so they produce bit-identical totals;
+        the dense branch merely replaces the sort behind ``np.unique``
+        with a direct scatter when the key space is small enough to
+        afford a routers^2 scratch vector.
+        """
         if len(self) == 0:
             return self
         key = self.src * num_routers + self.dst
-        uniq, inv = np.unique(key, return_inverse=True)
-        vol = np.bincount(inv, weights=self.volume, minlength=len(uniq))
+        n_keys = num_routers * num_routers
+        if n_keys <= 4 * len(key) and n_keys <= 16_000_000:
+            counts = np.bincount(key, minlength=n_keys)
+            vol_sum = np.bincount(key, weights=self.volume, minlength=n_keys)
+            uniq = np.flatnonzero(counts)
+            vol = vol_sum[uniq]
+        else:
+            uniq, inv = np.unique(key, return_inverse=True)
+            vol = np.bincount(inv, weights=self.volume, minlength=len(uniq))
         return FlowSet(
             uniq // num_routers, uniq % num_routers, vol, self.response_ratio
         )
@@ -167,31 +181,38 @@ def halo_flows(
             f"{ranks_per_node} ranks/node = {len(nodes) * ranks_per_node}"
         )
     ranks = np.arange(nranks)
-    coords = np.array(np.unravel_index(ranks, grid))  # (d, nranks)
+    # Row-major stride arithmetic: stepping dimension ``d`` moves the
+    # rank id by ``strides[d]`` (with a wrap correction when periodic).
+    # Integer-exact and far cheaper than materialising the (d, nranks)
+    # coordinate matrix per direction.
+    strides = np.ones(len(grid), dtype=np.int64)
+    for d in range(len(grid) - 2, -1, -1):
+        strides[d] = strides[d + 1] * grid[d + 1]
     src_list, dst_list = [], []
     for dim in range(len(grid)):
+        c = (ranks // strides[dim]) % grid[dim]
         for step in (-1, +1):
-            nbr = coords.copy()
-            nbr[dim] = nbr[dim] + step
             if periodic:
-                nbr[dim] %= grid[dim]
-                valid = np.ones(nranks, dtype=bool)
+                wrapped = (c + step) % grid[dim]
+                src_list.append(ranks)
+                dst_list.append(ranks + (wrapped - c) * strides[dim])
             else:
-                valid = (nbr[dim] >= 0) & (nbr[dim] < grid[dim])
-                nbr[dim] = np.clip(nbr[dim], 0, grid[dim] - 1)
-            nbr_rank = np.ravel_multi_index(
-                tuple(nbr[:, valid]), grid
-            )
-            src_list.append(ranks[valid])
-            dst_list.append(nbr_rank)
+                valid = ((c + step) >= 0) & ((c + step) < grid[dim])
+                src_list.append(ranks[valid])
+                dst_list.append(ranks[valid] + step * strides[dim])
     src_ranks = np.concatenate(src_list)
     dst_ranks = np.concatenate(dst_list)
-    src_nodes = nodes[rank_to_node(src_ranks, ranks_per_node)]
-    dst_nodes = nodes[rank_to_node(dst_ranks, ranks_per_node)]
-    vol = np.full(len(src_ranks), float(bytes_per_neighbor))
-    return node_flows_to_router_flows(
-        topology, src_nodes, dst_nodes, vol, response_ratio
-    )
+    # Map the job's node list to routers once and gather per rank — the
+    # same integers node_router() would produce entry for entry, without
+    # running the coordinate arithmetic over every rank-level endpoint.
+    node_r = topology.node_router(nodes)
+    src_r = node_r[rank_to_node(src_ranks, ranks_per_node)]
+    dst_r = node_r[rank_to_node(dst_ranks, ranks_per_node)]
+    keep = src_r != dst_r
+    src_r, dst_r = src_r[keep], dst_r[keep]
+    vol = np.full(len(src_r), float(bytes_per_neighbor))
+    fs = FlowSet(src_r, dst_r, vol, response_ratio)
+    return fs.aggregated(topology.num_routers)
 
 
 def allreduce_flows(

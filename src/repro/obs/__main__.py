@@ -76,9 +76,10 @@ def _cmd_export(args) -> int:
 def _cmd_diff(args) -> int:
     from repro.obs.diff import compare_profiles, load_profile_stages, render_diff
 
+    section = "spans" if args.spans else "stages"
     try:
-        baseline = load_profile_stages(args.baseline)
-        current = load_profile_stages(args.current)
+        baseline = load_profile_stages(args.baseline, section=section)
+        current = load_profile_stages(args.current, section=section)
     except (OSError, ValueError, json.JSONDecodeError) as exc:
         print(f"cannot load profile: {exc}", file=sys.stderr)
         return 2
@@ -192,6 +193,12 @@ def main(argv: list[str] | None = None) -> int:
         "--warn-only",
         action="store_true",
         help="report regressions but exit 0 (single-core runners)",
+    )
+    dif.add_argument(
+        "--spans",
+        action="store_true",
+        help="compare per-span-name records instead of graph stages "
+        "(campaign phases, worker batches)",
     )
     dif.add_argument(
         "-v", "--verbose", action="store_true",

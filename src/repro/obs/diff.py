@@ -37,11 +37,17 @@ DEFAULT_WALL_RATIO = 1.25
 DEFAULT_MIN_WALL = 0.5
 
 
-def load_profile_stages(path: "Path | str") -> dict[str, dict]:
+def load_profile_stages(
+    path: "Path | str", section: str = "stages"
+) -> dict[str, dict]:
     """Normalise any accepted profile input to ``{stage: record}``.
 
     Records carry ``wall`` (preferring ``normalized_wall`` when the
     source has one), plus ``cpu`` and ``maxrss_kb`` when available.
+    ``section="spans"`` selects the per-span-name records instead of
+    the graph stages — that is how ``diff --spans`` compares campaign
+    internals (``campaign.task.solve``, worker batches, ...) between
+    two runs that never open a graph stage.
     """
     path = Path(path)
     if path.suffix == ".jsonl":
@@ -49,17 +55,17 @@ def load_profile_stages(path: "Path | str") -> dict[str, dict]:
         from repro.obs.report import load_trace
 
         prof = build_profile(load_trace(path))
-        raw = prof["stages"] if prof else {}
+        raw = prof[section] if prof else {}
     else:
         obj = json.loads(path.read_text(encoding="utf-8"))
-        if "stages" in obj:
-            raw = obj["stages"]
+        if section in obj:
+            raw = obj[section]
         elif isinstance(obj.get("profile"), dict):
-            raw = obj["profile"].get("stages", {})
+            raw = obj["profile"].get(section, {})
         else:
             raise ValueError(
                 f"{path} holds no per-stage profile "
-                "(expected 'stages' or a report's 'profile' section)"
+                f"(expected {section!r} or a report's 'profile' section)"
             )
     out: dict[str, dict] = {}
     for name, rec in raw.items():

@@ -16,6 +16,7 @@ import numpy as np
 from repro.network.counters import (
     APP_COUNTERS,
     aggregate_counters,
+    counters_to_matrix,
     synthesize_router_counters,
 )
 from repro.network.engine import NetworkState
@@ -71,6 +72,51 @@ class AriesNCL:
         sc = StepCounters(step=step, duration=duration, values=values)
         self._steps.append(sc)
         return sc
+
+    def record_steps(
+        self,
+        steps: list[int],
+        durations: list[float],
+        router_rates: dict[str, np.ndarray],
+    ) -> list[StepCounters]:
+        """Batched :meth:`record_step` over a block of steps.
+
+        ``router_rates`` maps counter names to ``(steps, routers)`` rate
+        matrices.  Bit-identical to recording step by step: each
+        step/counter value is a per-row 1-D sum over the job routers
+        (same accumulation order as ``aggregate_counters``), and the
+        measurement jitter is drawn from ``self.rng`` as one step-major
+        batch — numpy's sized ``lognormal`` consumes the stream exactly
+        like the per-step scalar draws, in the same (step, counter)
+        order.
+        """
+        names = list(router_rates)
+        matrix = counters_to_matrix(router_rates, names)  # (13, B, R)
+        # One gather of the job-router columns for the whole block; each
+        # (counter, step) row of `sub` holds the same values in the same
+        # order as the per-step gather, so the 1-D sums are bit-equal
+        # (C order forced so row reductions use the contiguous kernel).
+        sub = np.ascontiguousarray(matrix[:, :, self.job_routers])
+        n = len(steps)
+        if self.rng is not None and self.noise > 0:
+            jitter = self.rng.lognormal(
+                mean=0.0, sigma=self.noise, size=n * len(names)
+            ).reshape(n, len(names))
+        else:
+            jitter = None
+        out: list[StepCounters] = []
+        for i, step in enumerate(steps):
+            duration = durations[i]
+            values: dict[str, float] = {}
+            for j, name in enumerate(names):
+                value = float(sub[j, i].sum()) * duration
+                if jitter is not None:
+                    value *= float(jitter[i, j])
+                values[name] = value
+            sc = StepCounters(step=step, duration=duration, values=values)
+            self._steps.append(sc)
+            out.append(sc)
+        return out
 
     @property
     def steps(self) -> list[StepCounters]:

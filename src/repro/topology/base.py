@@ -120,6 +120,49 @@ class Topology(abc.ABC):
         base = router * self.nodes_per_router
         return np.arange(base, base + self.nodes_per_router)
 
+    # ------------------------------------------------------------------ #
+    # Cached link -> router incidence (router-tile aggregation)
+    # ------------------------------------------------------------------ #
+
+    @cached_property
+    def link_dst(self) -> np.ndarray:
+        """Destination router of every directed link (cached view of
+        :attr:`link_endpoints`; the router-tile aggregation axis)."""
+        return self.link_endpoints[1]
+
+    @cached_property
+    def link_dst_counts(self) -> np.ndarray:
+        """Number of links terminating at each router (int64, cached).
+
+        Integer-valued and deterministic, so caching it cannot perturb
+        any floating-point result downstream.
+        """
+        return np.bincount(self.link_dst, minlength=self.num_routers)
+
+    def router_link_sums(self, per_link: np.ndarray) -> np.ndarray:
+        """Sum a per-link metric into its destination router, batched.
+
+        Accepts a ``(links,)`` vector or a ``(steps, links)`` matrix and
+        returns ``(routers,)`` / ``(steps, routers)``.  Each row uses
+        ``np.bincount``, which accumulates weights in element order —
+        the same per-bin FP accumulation order as a per-state bincount,
+        so batched and per-step results are bit-identical (unlike
+        ``np.add.reduceat``, whose SIMD partial sums reorder the adds).
+        """
+        dst = self.link_dst
+        r = self.num_routers
+        if per_link.ndim == 1:
+            return np.bincount(dst, weights=per_link, minlength=r)
+        # One flattened bincount over (step, router) keys: row-major
+        # flattening visits entries row by row in link order, so every
+        # (step, router) bin accumulates in the same element order as a
+        # per-row bincount would.
+        steps = per_link.shape[0]
+        keys = (np.arange(steps, dtype=np.int64)[:, None] * r + dst).ravel()
+        return np.bincount(
+            keys, weights=per_link.ravel(), minlength=steps * r
+        ).reshape(steps, r)
+
     @cached_property
     def io_router_mask(self) -> np.ndarray:
         mask = np.zeros(self.num_routers, dtype=bool)

@@ -359,12 +359,17 @@ class DragonflyPlusRouter:
         src_router: np.ndarray,
         dst_router: np.ndarray,
         rng: np.random.Generator | None = None,
+        flow_ids: np.ndarray | None = None,
     ) -> FlowRouting:
         """Route flows from ``src_router[i]`` to ``dst_router[i]``.
 
         Semantics match :meth:`AdaptiveRouter.route`: the result carries a
         minimal and a Valiant incidence; ``rng`` only affects Valiant
         sampling (default: deterministic stride-based sampling).
+        ``flow_ids`` overrides the flow indices used for deterministic
+        channel striping (default ``arange(n)``): a caller routing several
+        concatenated flow sets in one call passes each set's own 0-based
+        indices so every flow gets the exact links a solo call would pick.
         """
         src = np.asarray(src_router, dtype=np.int64)
         dst = np.asarray(dst_router, dtype=np.int64)
@@ -372,6 +377,11 @@ class DragonflyPlusRouter:
             raise ValueError("src_router and dst_router must have equal length")
         n = len(src)
         topo = self.topology
+        fid = (
+            np.arange(n, dtype=np.int64)
+            if flow_ids is None
+            else np.asarray(flow_ids, dtype=np.int64)
+        )
 
         local_mask = src == dst
 
@@ -383,6 +393,41 @@ class DragonflyPlusRouter:
         same_group = (sg == dg) & ~local_mask
         inter = ~same_group & ~local_mask
 
+        ls = src % topo.routers_per_group
+        ld = dst % topo.routers_per_group
+        if bool((ls < topo.leaf_size).all()) and bool(
+            (ld < topo.leaf_size).all()
+        ):
+            # Nodes only attach to leaves, so every flow set built from
+            # node placements lands here; each segment then has a single
+            # statically-known leaf/spine case and the general per-case
+            # masking in _intra_segment is pure overhead.  The expansion
+            # below emits the exact same (flow, link, share) triplets in
+            # the exact same order as the general path.
+            self._route_all_leaf(
+                minimal, valiant, sg, dg, ls, ld, src, dst,
+                same_group, inter, rng, fid,
+            )
+        else:
+            self._route_general(
+                minimal, valiant, sg, dg, src, dst, same_group, inter, rng, fid
+            )
+
+        mf, ml, ms = minimal.build()
+        vf, vl, vs = valiant.build()
+        return FlowRouting(
+            n_flows=n,
+            minimal=Incidence(mf, ml, ms),
+            valiant=Incidence(vf, vl, vs),
+            local_mask=local_mask,
+        )
+
+    def _route_general(
+        self, minimal, valiant, sg, dg, src, dst, same_group, inter, rng, fid
+    ) -> None:
+        """Reference expansion over the per-case segment helpers."""
+        topo = self.topology
+
         # ---- minimal, intra-group ------------------------------------- #
         idx = np.flatnonzero(same_group)
         if len(idx):
@@ -393,9 +438,10 @@ class DragonflyPlusRouter:
         # ---- minimal, inter-group ------------------------------------- #
         idx = np.flatnonzero(inter)
         if len(idx):
+            f = fid[idx]
             share = np.full(len(idx), 1.0 / self.global_channels)
             for t in range(self.global_channels):
-                chan = (idx + t) % topo.global_multiplicity
+                chan = (f + t) % topo.global_multiplicity
                 self._global_hop(
                     minimal, idx, src[idx], dst[idx], sg[idx], dg[idx], chan, share
                 )
@@ -413,35 +459,146 @@ class DragonflyPlusRouter:
         if len(idx) and topo.groups <= 2:
             # No third group exists; the Valiant set degenerates to the
             # minimal route.
+            f = fid[idx]
             share = np.full(len(idx), 1.0 / self.global_channels)
             for t in range(self.global_channels):
-                chan = (idx + t) % topo.global_multiplicity
+                chan = (f + t) % topo.global_multiplicity
                 self._global_hop(
                     valiant, idx, src[idx], dst[idx], sg[idx], dg[idx], chan, share
                 )
         elif len(idx):
+            f = fid[idx]
             k = self.valiant_samples
             share = np.full(len(idx), 1.0 / k)
             for s in range(k):
                 inter_g = self._sample_intermediate_group(sg[idx], dg[idx], s, rng)
-                chan = (idx + s) % topo.global_multiplicity
+                chan = (f + s) % topo.global_multiplicity
                 gw_in = topo.global_gateway(inter_g, sg[idx], chan)
                 self._global_hop(
                     valiant, idx, src[idx], gw_in, sg[idx], inter_g, chan, share
                 )
-                chan2 = (idx + s + 1) % topo.global_multiplicity
+                chan2 = (f + s + 1) % topo.global_multiplicity
                 self._global_hop(
                     valiant, idx, gw_in, dst[idx], inter_g, dg[idx], chan2, share
                 )
 
-        mf, ml, ms = minimal.build()
-        vf, vl, vs = valiant.build()
-        return FlowRouting(
-            n_flows=n,
-            minimal=Incidence(mf, ml, ms),
-            valiant=Incidence(vf, vl, vs),
-            local_mask=local_mask,
-        )
+    def _route_all_leaf(
+        self, minimal, valiant, sg, dg, ls, ld, src, dst, same_group, inter,
+        rng, fid,
+    ) -> None:
+        """Specialised expansion for flow sets with only leaf endpoints.
+
+        Emits bit-identical triplets to :meth:`_route_general` (same link
+        ids, same shares, same entry order — entry order matters because
+        ``Incidence.link_loads`` accumulates per-bin sums in entry order).
+        Each general-path segment resolves to one fixed case here:
+
+        * minimal intra       -> leaf-leaf ECMP bounce;
+        * minimal inter       -> up + global + down;
+        * Valiant intra legs  -> leaf-leaf bounces (mid may equal dst);
+        * Valiant inter hop 1 -> up + global (the landing spine *is* the
+          sampled gateway, so the general path's second segment is empty);
+        * Valiant inter hop 2 -> spine-spine bounce + global + down.
+        """
+        topo = self.topology
+        mult = topo.global_multiplicity
+        leaf = topo.leaf_size
+        spine = topo.spine_size
+        updown = topo._updown_per_group
+        up_base, down_base = topo.up_base, topo.down_base
+
+        # ---- minimal + Valiant, intra-group --------------------------- #
+        idx = np.flatnonzero(same_group)
+        if len(idx):
+            g, la, lb = sg[idx], ls[idx], ld[idx]
+            self._leaf_leaf(minimal, idx, g, la, lb, np.ones(len(idx)))
+
+            mids = self._sample_intra_mid(src[idx], dst[idx], g, rng)
+            lm = mids % topo.routers_per_group
+            share = np.full(len(idx), 1.0)
+            self._leaf_leaf(valiant, idx, g, la, lm, share)
+            m = lm != lb  # the sampled mid may coincide with dst
+            if m.any():
+                self._leaf_leaf(valiant, idx[m], g[m], lm[m], lb[m], share[m])
+
+        # ---- minimal + Valiant, inter-group --------------------------- #
+        idx = np.flatnonzero(inter)
+        if not len(idx):
+            return
+        g_s, g_d, la, lb = sg[idx], dg[idx], ls[idx], ld[idx]
+        f = fid[idx]
+        up0 = up_base + g_s * updown + la * spine
+        dn0 = down_base + g_d * updown + lb * spine
+
+        peer_d = np.where(g_d < g_s, g_d, g_d - 1)
+        peer_s = np.where(g_s < g_d, g_s, g_s - 1)
+        pd_m = peer_d * mult
+        ps_m = peer_s * mult
+        glob0 = topo.global_base + (g_s * (topo.groups - 1) + peer_d) * mult
+
+        share = np.full(len(idx), 1.0 / self.global_channels)
+        for t in range(self.global_channels):
+            chan = (f + t) % mult
+            minimal.add(idx, up0 + (pd_m + chan) % spine, share)
+            minimal.add(idx, glob0 + chan, share)
+            minimal.add(idx, dn0 + (ps_m + chan) % spine, share)
+
+        if topo.groups <= 2:
+            # No third group: the Valiant set degenerates to minimal.
+            for t in range(self.global_channels):
+                chan = (f + t) % mult
+                valiant.add(idx, up0 + (pd_m + chan) % spine, share)
+                valiant.add(idx, glob0 + chan, share)
+                valiant.add(idx, dn0 + (ps_m + chan) % spine, share)
+            return
+
+        k = self.valiant_samples
+        share = np.full(len(idx), 1.0 / k)
+        for s in range(k):
+            g_i = self._sample_intermediate_group(g_s, g_d, s, rng)
+            chan = (f + s) % mult
+            chan2 = (f + s + 1) % mult
+            # Hop 1: src leaf -> gateway spine of sg -> global to g_i.
+            peer_i = np.where(g_i < g_s, g_i, g_i - 1)
+            valiant.add(idx, up0 + (peer_i * mult + chan) % spine, share)
+            valiant.add(
+                idx,
+                topo.global_base + (g_s * (topo.groups - 1) + peer_i) * mult + chan,
+                share,
+            )
+            # Hop 2 inside g_i: landing spine -> departure spine (a
+            # down+up bounce through a leaf unless they coincide).
+            rank_s = np.where(g_s < g_i, g_s, g_s - 1)
+            rank_d = np.where(g_d < g_i, g_d, g_d - 1)
+            l_in = leaf + (rank_s * mult + chan) % spine
+            l_out = leaf + (rank_d * mult + chan2) % spine
+            m = l_in != l_out
+            if m.any():
+                mid = (l_in[m] + l_out[m]) % leaf
+                base = g_i[m] * updown + mid * spine
+                sh = share[m]
+                valiant.add(idx[m], down_base + base + (l_in[m] - leaf), sh)
+                valiant.add(idx[m], up_base + base + (l_out[m] - leaf), sh)
+            valiant.add(
+                idx,
+                topo.global_base + (g_i * (topo.groups - 1) + rank_d) * mult + chan2,
+                share,
+            )
+            # Landing spine of g_d -> dst leaf.
+            peer_i2 = np.where(g_i < g_d, g_i, g_i - 1)
+            valiant.add(idx, dn0 + (peer_i2 * mult + chan2) % spine, share)
+
+    def _leaf_leaf(self, out, fi, g, la, lb, share) -> None:
+        """Leaf -> leaf ECMP bounce over ``spine_channels`` spines."""
+        topo = self.topology
+        sh = share / self.spine_channels
+        up0 = topo.up_base + g * topo._updown_per_group + la * topo.spine_size
+        dn0 = topo.down_base + g * topo._updown_per_group + lb * topo.spine_size
+        s0 = la + lb
+        for c in range(self.spine_channels):
+            sp = (s0 + c) % topo.spine_size
+            out.add(fi, up0 + sp, sh)
+            out.add(fi, dn0 + sp, sh)
 
     # ------------------------------------------------------------------ #
     # Segment expansion helpers (all vectorised over flow subsets)

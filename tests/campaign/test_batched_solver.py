@@ -1,0 +1,194 @@
+"""The batched step-block solver is bit-identical to the per-step reference.
+
+The campaign cold path solves each probe run's steps in memory-bounded
+blocks (``REPRO_STEP_BLOCK``); ``REPRO_SOLVER=reference`` selects the
+frozen per-step loop instead (:func:`repro.campaign.parallel
+._solve_one_run_reference`).  These tests enforce the contract the
+refactor was built on: both solvers produce *byte-identical* run arrays
+(``assert_array_equal``, not ``allclose``) for every cell, worker count,
+and block size — including a long (620-step) run whose steps span many
+background windows, and the degenerate empty-flow placement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.apps.base import Application, StepModel
+from repro.campaign.runner import (
+    CampaignConfig,
+    CampaignRunner,
+    ProbeRunContext,
+)
+from repro.config import DEFAULT_STEP_BLOCK, resolve_step_block
+from repro.network.engine import BaseLoad, CongestionEngine
+from repro.network.traffic import FlowSet
+from repro.parallel import shutdown_pool
+from repro.topology.dragonfly import DragonflyTopology
+
+#: Per-run arrays that must match bitwise between the two solvers.
+RUN_ARRAYS = ("step_times", "compute_times", "mpi_times", "counters", "ldms")
+
+
+def _cfg(**overrides) -> CampaignConfig:
+    return CampaignConfig.tiny(
+        use_cache=False, days=2.0, long_runs=(), **overrides
+    )
+
+
+def _assert_identical(a, b) -> None:
+    assert set(a.keys()) == set(b.keys())
+    for key in a.keys():
+        da, db = a[key], b[key]
+        assert len(da) == len(db)
+        for ra, rb in zip(da.runs, db.runs):
+            for name in RUN_ARRAYS:
+                np.testing.assert_array_equal(
+                    getattr(ra, name), getattr(rb, name), err_msg=f"{key}.{name}"
+                )
+            assert ra.start_time == rb.start_time
+
+
+@pytest.fixture(scope="module")
+def batched_serial():
+    """The default (batched) solver at workers=1 on the default cell."""
+    return CampaignRunner(_cfg(workers=1)).run()
+
+
+def test_reference_solver_bit_identical(batched_serial, monkeypatch):
+    monkeypatch.setenv("REPRO_SOLVER", "reference")
+    reference = CampaignRunner(_cfg(workers=1)).run()
+    _assert_identical(batched_serial, reference)
+
+
+def test_reference_solver_bit_identical_parallel(batched_serial, monkeypatch):
+    # A fresh pool so the subprocess workers inherit the env override.
+    shutdown_pool()
+    monkeypatch.setenv("REPRO_SOLVER", "reference")
+    try:
+        reference = CampaignRunner(_cfg(workers=4)).run()
+    finally:
+        shutdown_pool()  # don't leak reference-solver workers to other tests
+    _assert_identical(batched_serial, reference)
+
+
+def test_reference_solver_bit_identical_dfplus_cell(monkeypatch):
+    """The non-default bench cell (Dragonfly+ geometry, pinned Valiant)."""
+    cfg = _cfg(workers=1, topology="df+", routing="valiant")
+    batched = CampaignRunner(cfg).run()
+    monkeypatch.setenv("REPRO_SOLVER", "reference")
+    reference = CampaignRunner(cfg).run()
+    _assert_identical(batched, reference)
+
+
+def test_block_size_invariance_long_run(monkeypatch):
+    """A 620-step long run solved at block sizes 1/7/64 is bit-identical.
+
+    Block size 1 degenerates to one step per block (the batched code on
+    per-step shapes), 7 exercises ragged final blocks, 64 the default.
+    The long run spans many background windows, so this also covers the
+    window-grouped block splitting.
+    """
+    cfg = CampaignConfig.tiny(
+        use_cache=False, days=2.0, long_runs=(("MILC-128", 620),), workers=1
+    )
+    results = {}
+    for block in (1, 7, 64):
+        monkeypatch.setenv("REPRO_STEP_BLOCK", str(block))
+        results[block] = CampaignRunner(cfg).run()
+    assert any(
+        len(run.step_times) == 620
+        for run in results[1]["MILC-128-long620"].runs
+    )
+    _assert_identical(results[1], results[7])
+    _assert_identical(results[1], results[64])
+
+
+# --------------------------------------------------------------------------- #
+# Unit surface: solve_steps on a degenerate placement, config plumbing.
+# --------------------------------------------------------------------------- #
+
+
+class _SilentApp(Application):
+    """An app that never communicates: the empty-flow degenerate case."""
+
+    name = "SILENT"
+    version = "0"
+
+    def step_model(self) -> StepModel:
+        n = 4
+        return StepModel(np.full(n, 1.0), np.full(n, 0.5), np.ones(n))
+
+    def flow_geometry(self, topology, nodes) -> FlowSet:
+        empty = np.empty(0, dtype=np.int64)
+        return FlowSet(empty, empty, np.empty(0), 0.1)
+
+    def routine_mix(self) -> dict[str, float]:
+        return {"MPI_Wait": 1.0}
+
+    def input_summary(self) -> str:
+        return "silent"
+
+
+def test_solve_steps_empty_flows():
+    """solve_steps must handle a flowless placement and match solve_step."""
+    topo = DragonflyTopology.from_preset("tiny")
+    engine = CongestionEngine(topo)
+    app = _SilentApp(2)
+    ctx = ProbeRunContext(
+        app, topo, engine, np.array([0, 1]), app.step_model()
+    )
+    n, r = 3, topo.num_routers
+    block_base = BaseLoad(
+        link_loads=np.zeros((n, topo.num_links)),
+        inj=np.zeros((n, r)),
+        ej=np.zeros((n, r)),
+        vc4=np.zeros((n, r)),
+    )
+    loads, inj, ej, vc4, fabric, endpoint = ctx.solve_steps(
+        block_base, np.ones(n)
+    )
+    assert loads.shape == (n, topo.num_links)
+    step_base = BaseLoad.zeros(topo)
+    for i in range(n):
+        state, fab, ep = ctx.solve_step(step_base, 1.0)
+        np.testing.assert_array_equal(loads[i], state.link_loads)
+        np.testing.assert_array_equal(inj[i], state.inj)
+        assert fabric[i] == fab == 1.0  # no flows -> no slowdown
+        assert endpoint[i] == ep == 1.0
+
+
+def test_resolve_step_block(monkeypatch):
+    monkeypatch.delenv("REPRO_STEP_BLOCK", raising=False)
+    assert resolve_step_block(None) == DEFAULT_STEP_BLOCK
+    assert resolve_step_block(7) == 7
+    with pytest.raises(ValueError):
+        resolve_step_block(0)
+    monkeypatch.setenv("REPRO_STEP_BLOCK", "9")
+    assert resolve_step_block(None) == 9
+    assert resolve_step_block(2) == 9  # env wins over config
+    monkeypatch.setenv("REPRO_STEP_BLOCK", "not-a-number")
+    with pytest.raises(ValueError):
+        resolve_step_block()
+    monkeypatch.setenv("REPRO_STEP_BLOCK", "-3")
+    with pytest.raises(ValueError):
+        resolve_step_block()
+
+
+def test_router_link_sums_batched_matches_per_row():
+    """The (steps, links) form of router_link_sums equals per-row bincounts."""
+    topo = DragonflyTopology.from_preset("tiny")
+    rng = np.random.default_rng(42)
+    per_link = rng.random((5, topo.num_links))
+    batched = topo.router_link_sums(per_link)
+    assert batched.shape == (5, topo.num_routers)
+    for i in range(5):
+        np.testing.assert_array_equal(
+            batched[i], topo.router_link_sums(per_link[i])
+        )
+    # Non-contiguous input (a strided block view) must not change bits.
+    view = per_link[::2]
+    np.testing.assert_array_equal(
+        topo.router_link_sums(view), batched[::2]
+    )

@@ -13,6 +13,7 @@ from repro.network.counters import (
     PLACEMENT_FEATURES,
     SYS_COUNTERS,
     aggregate_counters,
+    counters_to_matrix,
     counters_to_vector,
     forecast_feature_names,
     spec_by_abbreviation,
@@ -128,6 +129,27 @@ def test_counters_to_vector_order():
     d = {n: float(i) for i, n in enumerate(APP_COUNTERS)}
     v = counters_to_vector(d, APP_COUNTERS)
     np.testing.assert_array_equal(v, np.arange(13.0))
+
+
+def test_counters_to_matrix_orders_and_shapes():
+    # Per-router rate vectors -> (names, routers).
+    rates = {"a": np.arange(4.0), "b": np.arange(4.0) * 2}
+    m = counters_to_matrix(rates, ["b", "a"])
+    assert m.shape == (2, 4)
+    np.testing.assert_array_equal(m[0], rates["b"])
+    np.testing.assert_array_equal(m[1], rates["a"])
+    # Default name order is dict insertion order.
+    np.testing.assert_array_equal(counters_to_matrix(rates)[0], rates["a"])
+    # Per-step (steps, routers) matrices -> (names, steps, routers).
+    block = {"a": np.arange(12.0).reshape(3, 4), "b": np.ones((3, 4))}
+    cube = counters_to_matrix(block, ["a", "b"])
+    assert cube.shape == (2, 3, 4)
+    np.testing.assert_array_equal(cube[0], block["a"])
+    # Scalars -> a plain feature vector, same as counters_to_vector.
+    d = {n: float(i) for i, n in enumerate(APP_COUNTERS)}
+    np.testing.assert_array_equal(
+        counters_to_matrix(d, APP_COUNTERS), counters_to_vector(d, APP_COUNTERS)
+    )
 
 
 def test_forecast_feature_names_tiers():

@@ -149,3 +149,27 @@ def test_property_flows_on_valid_routers(seed, n_nodes):
     assert (fs.dst >= 0).all() and (fs.dst < topo.num_routers).all()
     assert (fs.src != fs.dst).all()
     assert (fs.volume >= 0).all()
+
+
+def test_aggregated_dense_and_sorted_paths_bitwise_equal():
+    """Both aggregation branches sum each pair's volumes in entry order.
+
+    The dense-scatter branch fires when routers^2 is small relative to
+    the entry count; a sequential per-pair accumulation reproduces the
+    same FP result, so both branches must match it bitwise.
+    """
+    rng = np.random.default_rng(5)
+    for num_routers, n in ((6, 400), (200, 50)):  # dense / sorted branch
+        src = rng.integers(0, num_routers, size=n)
+        dst = rng.integers(0, num_routers, size=n)
+        vol = rng.random(n)
+        vol[rng.random(n) < 0.1] = 0.0  # zero-volume pairs must survive
+        fs = FlowSet(src, dst, vol, 0.1).aggregated(num_routers)
+        acc: dict[int, float] = {}
+        for s, d, v in zip(src, dst, vol):
+            key = int(s) * num_routers + int(d)
+            acc[key] = acc.get(key, 0.0) + float(v)
+        keys = sorted(acc)
+        np.testing.assert_array_equal(fs.src, np.array(keys) // num_routers)
+        np.testing.assert_array_equal(fs.dst, np.array(keys) % num_routers)
+        np.testing.assert_array_equal(fs.volume, [acc[k] for k in keys])

@@ -161,3 +161,57 @@ def test_to_networkx(plus_topo):
     g = plus_topo.to_networkx()
     assert g.number_of_nodes() == plus_topo.num_routers
     assert g.number_of_edges() == plus_topo.num_links
+
+
+def test_leaf_fast_path_matches_general_expansion(plus_topo, monkeypatch):
+    """Leaf-only routing (the fast path) emits the exact same incidence
+    triplets, in the same order, as the general per-case expansion."""
+    from repro.topology.dragonfly_plus import DragonflyPlusRouter
+
+    router = plus_topo.default_router()
+    rng = np.random.default_rng(7)
+    leaves = np.flatnonzero(plus_topo.is_leaf(np.arange(plus_topo.num_routers)))
+    src = rng.choice(leaves, size=300)
+    dst = rng.choice(leaves, size=300)
+    fast = router.route(src, dst, rng=np.random.default_rng(99))
+
+    def general_only(
+        self,
+        minimal,
+        valiant,
+        sg,
+        dg,
+        ls,
+        ld,
+        src,
+        dst,
+        same_group,
+        inter,
+        rng,
+        fid,
+    ):
+        self._route_general(
+            minimal, valiant, sg, dg, src, dst, same_group, inter, rng, fid
+        )
+
+    monkeypatch.setattr(DragonflyPlusRouter, "_route_all_leaf", general_only)
+    general = router.route(src, dst, rng=np.random.default_rng(99))
+    for name in ("minimal", "valiant"):
+        fi, gi = getattr(fast, name), getattr(general, name)
+        np.testing.assert_array_equal(fi.flow, gi.flow, err_msg=name)
+        np.testing.assert_array_equal(fi.link, gi.link, err_msg=name)
+        np.testing.assert_array_equal(fi.share, gi.share, err_msg=name)
+    np.testing.assert_array_equal(fast.local_mask, general.local_mask)
+
+
+def test_route_accepts_spine_endpoints(plus_topo):
+    """Mixed leaf/spine endpoints fall back to the general expansion."""
+    router = plus_topo.default_router()
+    spines = np.flatnonzero(
+        ~plus_topo.is_leaf(np.arange(plus_topo.num_routers))
+    )
+    src = np.array([spines[0], 0])
+    dst = np.array([1, spines[-1]])
+    routing = router.route(src, dst, rng=np.random.default_rng(3))
+    assert routing.n_flows == 2
+    assert routing.minimal.nnz > 0
