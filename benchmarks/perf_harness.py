@@ -42,9 +42,13 @@ from repro.parallel import shutdown_pool
 
 #: Drivers worth gating: the RFE sweep (fig09), both ablation grids
 #: (fig08/fig10), the per-dataset MI table (table03), the warm second
-#: `all` pass (the stage graph's near-pure cache read), and cold
-#: campaign generation on a non-default (topology, routing) cell.
-BENCHES = ["fig09", "fig08", "fig10", "table03", "warm_all", "campaign_cold"]
+#: `all` pass (the stage graph's near-pure cache read), cold campaign
+#: generation on a non-default (topology, routing) cell, and the
+#: streaming append (one-window generation + shard-scoped retrain).
+BENCHES = [
+    "fig09", "fig08", "fig10", "table03",
+    "warm_all", "campaign_cold", "stream_append",
+]
 
 #: The cell ``campaign_cold`` generates on.  Pinned off the default so
 #: the scenario times the registry-built path (Dragonfly+ geometry +
@@ -225,6 +229,83 @@ def bench_campaign_cold(
     return result
 
 
+#: Datasets the stream_append scenario retrains on — two suffice to
+#: exercise the multi-key append path without tripling the drift cost.
+STREAM_APPEND_KEYS = ["AMG-128", "MILC-128"]
+
+
+def bench_stream_append(fast: bool) -> dict:
+    """Time one-window appends against a primed streamed campaign.
+
+    Primes a two-window stream (generation + drift training, not timed)
+    into a private cache, then times consecutive appends: each timed
+    pass adds exactly one window, so the wall is one window's campaign
+    generation plus the shard-scoped drift stages (train + eval on the
+    new shard, reduce, render) — the incremental-append cost the
+    streaming refactor gates.  A regression here means an append started
+    recomputing old shards (the ``stream-append`` CI job catches the
+    correctness side; this catches the wall).
+    """
+    from repro.campaign.streaming import StreamConfig, run_stream
+    from repro.experiments.stream_drift import stream_drift
+
+    calibration = calibrate()
+    base = experiment_config(fast)
+    window_days = 2.0
+    primed, appends = 2, 3
+    runs = []
+    with tempfile.TemporaryDirectory(prefix="repro-streambench-") as cache_dir:
+        os.environ["REPRO_ARTIFACT_CACHE"] = "1"
+        os.environ["REPRO_CACHE_DIR"] = cache_dir
+        os.environ["REPRO_WORKERS"] = "1"
+        try:
+            camp = run_stream(
+                StreamConfig(base=base, windows=primed, window_days=window_days)
+            )
+            stream_drift(camp, keys=STREAM_APPEND_KEYS, fast=fast)  # prime
+            for i in range(appends):
+                windows = primed + 1 + i
+                clear_feature_caches()  # in-memory warmth is not an append
+                shutdown_pool()
+                t0 = time.perf_counter()
+                camp = run_stream(
+                    StreamConfig(
+                        base=base, windows=windows, window_days=window_days
+                    )
+                )
+                stream_drift(camp, keys=STREAM_APPEND_KEYS, fast=fast)
+                wall = time.perf_counter() - t0
+                runs.append(
+                    {
+                        "windows": windows,
+                        "wall_s": round(wall, 4),
+                        "normalized_wall": round(wall / calibration, 4),
+                    }
+                )
+                print(f"  stream_append -> windows={windows}: {wall:.2f}s "
+                      f"({wall / calibration:.2f}x calibration)")
+            fingerprint = camp.stream.fingerprint
+        finally:
+            os.environ.pop("REPRO_ARTIFACT_CACHE", None)
+            os.environ.pop("REPRO_CACHE_DIR", None)
+            os.environ.pop("REPRO_WORKERS", None)
+    best = min(r["normalized_wall"] for r in runs)
+    return {
+        "name": "stream_append",
+        "mode": "fast" if fast else "full",
+        "dataset_fingerprint": fingerprint,
+        "cpu_count": os.cpu_count(),
+        "calibration_s": round(calibration, 4),
+        "keys": STREAM_APPEND_KEYS,
+        "window_days": window_days,
+        "runs": runs,
+        "serial_normalized_wall": best,
+        # Append walls are seconds-scale and dominated by one window's
+        # generation; give them more slack than the minutes-long drivers.
+        "tolerance": 0.5,
+    }
+
+
 def bench_profile(campaign, fast: bool, fingerprint: str, out_dir: Path) -> dict:
     """One profiled cold ``all`` pass -> ``PROFILE_all_fast.json``.
 
@@ -364,11 +445,11 @@ def main(argv: list[str] | None = None) -> int:
     fingerprint = cfg.fingerprint()
     print(f"campaign {fingerprint} (mode={'fast' if args.fast else 'full'}, "
           f"cpu_count={os.cpu_count()})")
-    # campaign_cold generates its own (non-default-cell) campaign; don't
-    # pay for the default one unless another scenario needs it.
+    # campaign_cold and stream_append generate their own campaigns;
+    # don't pay for the default one unless another scenario needs it.
     campaign = (
         run_campaign(cfg, progress=True)
-        if args.profile or set(benches) - {"campaign_cold"}
+        if args.profile or set(benches) - {"campaign_cold", "stream_append"}
         else None
     )
 
@@ -382,6 +463,8 @@ def main(argv: list[str] | None = None) -> int:
     for name in benches:
         if name == "campaign_cold":
             result = bench_campaign_cold(args.fast, worker_counts, step_blocks)
+        elif name == "stream_append":
+            result = bench_stream_append(args.fast)
         elif name == "warm_all":
             result = bench_warm_all(campaign, args.fast, fingerprint)
         else:

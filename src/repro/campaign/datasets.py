@@ -142,10 +142,24 @@ class RunRecord:
 
 @dataclass
 class RunDataset:
-    """One of the six campaign datasets."""
+    """One of the six campaign datasets.
+
+    ``campaign_fingerprint`` is the provenance stamp: the fingerprint of
+    the campaign (or stream) this dataset came out of.  It keys every
+    derived-data cache (:class:`repro.features.FeatureStore`), so it is
+    persisted with the dataset and restored on load — a warm load must
+    never silently re-key the feature cache onto an array-content hash.
+
+    Streamed datasets additionally carry ``shard_views`` (the ordered
+    per-window :class:`RunDataset` shards, each stamped with its own
+    window-campaign fingerprint) and ``shard_fingerprints`` — set by
+    :mod:`repro.campaign.streaming`, read by the feature store's
+    incremental-append path.
+    """
 
     key: str
     runs: list[RunRecord] = field(default_factory=list)
+    campaign_fingerprint: str | None = None
 
     # ---- basic shape ---------------------------------------------------- #
 
@@ -241,7 +255,7 @@ class RunDataset:
 
     # ---- serialisation ----------------------------------------------------- #
 
-    def save(self, path: Path) -> None:
+    def save(self, path: Path, campaign_fingerprint: str | None = None) -> None:
         path = Path(path)
         path.parent.mkdir(parents=True, exist_ok=True)
         npz_path = path.with_suffix(".npz")
@@ -263,6 +277,13 @@ class RunDataset:
             "neighborhoods": [r.neighborhood for r in self.runs],
             "routine_times": [r.routine_times for r in self.runs],
         }
+        # Provenance travels with the entry (an optional key, so the
+        # schema — and therefore CACHE_FORMAT_VERSION and every existing
+        # fingerprint — is unchanged): warm loads keep keying the feature
+        # cache off the campaign fingerprint instead of array contents.
+        fp = campaign_fingerprint or self.campaign_fingerprint
+        if fp is not None:
+            meta["campaign_fingerprint"] = fp
         _atomic_write_text(path.with_suffix(".json"), json.dumps(meta))
 
     @classmethod
@@ -292,7 +313,11 @@ class RunDataset:
                     routine_times=meta["routine_times"][i],
                 )
             )
-        return cls(key=meta["key"], runs=runs)
+        return cls(
+            key=meta["key"],
+            runs=runs,
+            campaign_fingerprint=meta.get("campaign_fingerprint"),
+        )
 
 
 @dataclass
@@ -334,7 +359,7 @@ class Campaign:
         with self.cache_lock(fingerprint):
             root.mkdir(parents=True, exist_ok=True)
             for key, ds in self.datasets.items():
-                ds.save(root / key)
+                ds.save(root / key, campaign_fingerprint=fingerprint)
             _atomic_write_text(
                 root / "campaign.json",
                 json.dumps(
@@ -377,6 +402,11 @@ class Campaign:
                 stacklevel=2,
             )
             return None
+        # The entry is keyed by this fingerprint, so it is authoritative
+        # provenance whether or not the per-dataset meta carried the
+        # (newer, optional) stamp — pre-stamp cache entries load warm too.
+        for ds in datasets.values():
+            ds.campaign_fingerprint = fingerprint
         return cls(
             datasets=datasets,
             ground_truth_aggressors=meta.get("ground_truth_aggressors", []),

@@ -26,7 +26,11 @@ from repro.features.store import (
     clear_feature_caches,
     get_store,
 )
-from repro.features.windows import build_windows, validate_window_params
+from repro.features.windows import (
+    build_windows,
+    interleave_windows,
+    validate_window_params,
+)
 
 __all__ = [
     "FeatureSpec",
@@ -39,5 +43,6 @@ __all__ = [
     "STATS",
     "FEATURE_FORMAT_VERSION",
     "build_windows",
+    "interleave_windows",
     "validate_window_params",
 ]

@@ -71,18 +71,36 @@ _TAGS = {"hit": "[hit ]", "miss": "[miss]", "force": "[force]", "run": "[run ]"}
 
 
 def render_plan(plans: list[StagePlan]) -> str:
-    """Human-readable DAG resolution (the CLI's ``--explain`` output)."""
+    """Human-readable DAG resolution (the CLI's ``--explain`` output).
+
+    Shard-scoped stages carry a ``shard=<fp>[,<fp>...]`` tag and get
+    their own summary line, so the hit/miss granularity of a streamed
+    run is visible per shard.
+    """
     width = max((len(p.stage.name) for p in plans), default=0)
-    lines = [
-        f"{_TAGS[p.status]:<7} {p.stage.kind:<7} "
-        f"{p.stage.name:<{width}}  {p.fingerprint}"
-        for p in plans
-    ]
+    lines = []
+    shard_counts: defaultdict[str, int] = defaultdict(int)
+    for p in plans:
+        line = (
+            f"{_TAGS[p.status]:<7} {p.stage.kind:<7} "
+            f"{p.stage.name:<{width}}  {p.fingerprint}"
+        )
+        if p.stage.shard:
+            line += f"  shard={','.join(p.stage.shard)}"
+            shard_counts[p.status] += 1
+        lines.append(line)
     counts = defaultdict(int)
     for p in plans:
         counts[p.status] += 1
     summary = ", ".join(f"{counts[s]} {s}" for s in _TAGS if counts[s])
     lines.append(f"{len(plans)} stages: {summary}")
+    if shard_counts:
+        shard_summary = ", ".join(
+            f"{shard_counts[s]} {s}" for s in _TAGS if shard_counts[s]
+        )
+        lines.append(
+            f"{sum(shard_counts.values())} shard-scoped: {shard_summary}"
+        )
     return "\n".join(lines)
 
 
@@ -137,16 +155,21 @@ class GraphRunner:
         self._provider = campaign
         self._camp = None
 
-    def _count(self, status: str, n: int = 1) -> None:
+    def _count(self, status: str, n: int = 1, shard: int = 0) -> None:
         """Bump a ``graph.stage.<status>`` counter, plus its per-cell
         twin when this runner is pinned to a (topology, routing) cell.
         The unqualified counter stays the cross-cell total existing
-        tests and reports read."""
+        tests and reports read.  ``shard`` of the ``n`` stages were
+        shard-scoped and additionally land on ``graph.shard.<status>``
+        — the numbers the stream-append assertions and ``repro.obs
+        report`` read."""
         if not n:
             return
         METRICS.counter(f"graph.stage.{status}").inc(n)
         if self.cell:
             METRICS.counter(f"graph.stage.{status}[{self.cell}]").inc(n)
+        if shard:
+            METRICS.counter(f"graph.shard.{status}").inc(shard)
 
     def _campaign(self):
         if self._camp is None:
@@ -220,10 +243,14 @@ class GraphRunner:
                     if prof_on:
                         load_times[name] = time.perf_counter() - t0
                     continue
-                self._count("miss")
+                self._count("miss", shard=1 if st.shard else 0)
             exec_set.add(name)
             stack.extend(up for _, up in st.inputs)
-        self._count("hit", len(values))
+        self._count(
+            "hit",
+            len(values),
+            shard=sum(1 for n in values if graph.stages[n].shard),
+        )
 
         self._emit_plan(values, exec_set, seen, load_times)
         if exec_set:
@@ -322,7 +349,7 @@ class GraphRunner:
             while ready:
                 name = ready.popleft()
                 st = graph.stages[name]
-                self._count("run")
+                self._count("run", shard=1 if st.shard else 0)
                 inputs = {role: values[up] for role, up in st.inputs}
                 if st.local or not pool.parallel:
                     finish(name, self._exec_local(st, name, inputs))

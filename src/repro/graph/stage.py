@@ -102,6 +102,12 @@ class Stage:
     local: bool = False
     #: Persist the result in the artifact store.
     store: bool = True
+    #: Shard addresses (content fingerprints of the time-window shards
+    #: this stage consumes, see :mod:`repro.campaign.streaming`).  A
+    #: shard-scoped stage is fingerprinted by its shard addresses
+    #: *instead of* the campaign fingerprint, so appending a window to a
+    #: stream never re-keys the stages of the existing windows.
+    shard: tuple = ()
 
     def group(self) -> str:
         """Store subdirectory: the stage function's attribute name."""
@@ -134,6 +140,7 @@ class Graph:
         kind: str = "compute",
         local: bool = False,
         store: bool = True,
+        shard: "str | tuple[str, ...] | None" = None,
     ) -> str:
         stage = Stage(
             name=name,
@@ -145,6 +152,7 @@ class Graph:
             kind=kind,
             local=local or campaign,
             store=store,
+            shard=(shard,) if isinstance(shard, str) else tuple(shard or ()),
         )
         existing = self.stages.get(name)
         if existing is not None:
@@ -164,19 +172,26 @@ class Graph:
         """Input-addressed fingerprint of every stage, in topo order."""
         fps: dict[str, str] = {}
         for name, st in self.stages.items():
-            payload = json.dumps(
-                {
-                    "format": GRAPH_FORMAT_VERSION,
-                    "fn": st.fn,
-                    "code": fn_version(st.fn),
-                    "params": [[k, v] for k, v in st.params],
-                    "inputs": [[role, fps[up]] for role, up in st.inputs],
-                    "dataset": st.dataset,
-                    "campaign": campaign_fingerprint
-                    if (st.campaign or st.dataset is not None)
-                    else None,
-                },
-                sort_keys=True,
-            )
+            payload_dict = {
+                "format": GRAPH_FORMAT_VERSION,
+                "fn": st.fn,
+                "code": fn_version(st.fn),
+                "params": [[k, v] for k, v in st.params],
+                "inputs": [[role, fps[up]] for role, up in st.inputs],
+                "dataset": st.dataset,
+                # Shard-scoped stages are addressed by the content
+                # fingerprints of the shards they consume, not the
+                # (stream) campaign fingerprint — appending a window
+                # changes the stream fingerprint but must not re-key the
+                # existing windows' stages.  The ``shard`` key is only
+                # present when set, so every pre-streaming fingerprint
+                # is unchanged.
+                "campaign": campaign_fingerprint
+                if not st.shard and (st.campaign or st.dataset is not None)
+                else None,
+            }
+            if st.shard:
+                payload_dict["shard"] = list(st.shard)
+            payload = json.dumps(payload_dict, sort_keys=True)
             fps[name] = hashlib.sha256(payload.encode()).hexdigest()[:16]
         return fps

@@ -20,6 +20,13 @@ Implements exactly what the paper's pipelines need:
 """
 
 from repro.ml.attention import AttentionForecaster
+from repro.ml.drift import (
+    DriftReport,
+    WindowDrift,
+    drift_report,
+    rolling_drift,
+    score_on_shard,
+)
 from repro.ml.forest import RandomForestRegressor
 from repro.ml.gbr import GradientBoostedRegressor
 from repro.ml.linear import RidgeRegressor
@@ -50,6 +57,11 @@ __all__ = [
     "ScalerStep",
     "MeanTargetForecaster",
     "make_forecaster",
+    "DriftReport",
+    "WindowDrift",
+    "drift_report",
+    "rolling_drift",
+    "score_on_shard",
     "RFE",
     "relevance_scores",
     "mutual_information_binary",

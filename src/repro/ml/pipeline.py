@@ -230,3 +230,15 @@ def make_forecaster(name: str, seed: int = 0, **kwargs) -> Estimator:
         f"unknown forecaster {name!r}; expected one of "
         "['attention', 'gbr', 'forest', 'ridge', 'mean-target']"
     )
+
+
+# Rolling-window retraining over streamed shards lives in
+# :mod:`repro.ml.drift`; re-exported here because the drift report is
+# the pipeline-level product of the streaming facility mode.
+from repro.ml.drift import (  # noqa: E402
+    DriftReport,
+    WindowDrift,
+    drift_report,
+    rolling_drift,
+    score_on_shard,
+)

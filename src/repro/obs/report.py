@@ -144,6 +144,13 @@ def _cache_summary(metrics: dict[str, object]) -> list[str]:
             f"{misses} builds "
             f"({100.0 * (hits + disk) / total:.1f}% hit rate)"
         )
+    ap_hits = int(metrics.get("features.append.hit", 0) or 0)
+    ap_miss = int(metrics.get("features.append.miss", 0) or 0)
+    if ap_hits + ap_miss:
+        lines.append(
+            f"feature append: {ap_hits} shard reuses, "
+            f"{ap_miss} shard builds"
+        )
     camp_hits = int(metrics.get("campaign.cache.hits", 0) or 0)
     camp_miss = int(metrics.get("campaign.cache.misses", 0) or 0)
     if camp_hits + camp_miss:
@@ -165,6 +172,14 @@ def _cache_summary(metrics: dict[str, object]) -> list[str]:
         lines.append(
             f"  cell {cell}: {hits} artifact hits, {miss} misses, "
             f"{runs} stages run"
+        )
+    sh_hits = int(metrics.get("graph.shard.hit", 0) or 0)
+    sh_miss = int(metrics.get("graph.shard.miss", 0) or 0)
+    sh_runs = int(metrics.get("graph.shard.run", 0) or 0)
+    if sh_hits + sh_miss + sh_runs:
+        lines.append(
+            f"shard stages: {sh_hits} artifact hits, {sh_miss} misses, "
+            f"{sh_runs} stages run"
         )
     return lines
 

@@ -1,0 +1,153 @@
+"""Shard-boundary window tensors: byte-identity to the monolithic build.
+
+The correctness crux of the incremental-append path: a streamed
+dataset's tier matrices and window tensors, assembled shard by shard,
+must be *byte-identical* to building them over the combined dataset in
+one pass — for every window size, both topology cells, and uneven
+shards.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.campaign.runner import CampaignConfig
+from repro.campaign.streaming import StreamConfig, _combine_shards, run_stream
+from repro.features import FeatureSpec, build_windows, get_store
+from repro.features.windows import interleave_windows
+from repro.obs import METRICS
+
+from tests.features.test_store import _dataset
+
+
+def _streamed(counts, key="SYN-64", t=12):
+    """Hand-built multi-shard dataset plus its monolithic twin."""
+    views = []
+    for i, n in enumerate(counts):
+        v = _dataset(key=key, n=n, t=t, seed=100 + i)
+        v.campaign_fingerprint = f"window{i:012d}fp00"
+        views.append(v)
+    combined = _combine_shards(
+        key,
+        views,
+        [v.campaign_fingerprint for v in views],
+        [0.0] * len(views),
+        "streamfp00000000",
+    )
+    # The monolithic twin: same runs, no shard views, no provenance.
+    from repro.campaign.datasets import RunDataset
+
+    mono = RunDataset(key=key, runs=list(combined.runs))
+    return combined, mono
+
+
+def _assert_identical(combined, mono, spec, m, k, align_m=None):
+    xs, ys, gs = get_store(combined, persist=False).windows(
+        spec, m, k, align_m=align_m
+    )
+    xm, ym, gm = build_windows(
+        spec.matrix(mono), [r.step_times for r in mono.runs], m, k,
+        align_m=align_m,
+    )
+    assert xs.tobytes() == np.ascontiguousarray(xm).tobytes()
+    assert ys.tobytes() == np.ascontiguousarray(ym).tobytes()
+    assert gs.tobytes() == np.ascontiguousarray(gm).tobytes()
+
+
+@pytest.mark.parametrize("m,k", [(1, 1), (5, 3), (11, 1)])
+def test_shard_windows_byte_identical(m, k):
+    """m = 1, a mid-size m, and m spanning all but one step of a shard."""
+    combined, mono = _streamed([2, 3, 2])
+    _assert_identical(combined, mono, FeatureSpec.resolve("app"), m, k)
+
+
+def test_shard_windows_byte_identical_with_align():
+    combined, mono = _streamed([3, 2])
+    spec = FeatureSpec.resolve("app+placement")
+    _assert_identical(combined, mono, spec, 2, 2, align_m=5)
+
+
+def test_shard_tier_matrix_byte_identical():
+    combined, mono = _streamed([2, 4])
+    spec = FeatureSpec.resolve("app+placement+io+sys")
+    xs = get_store(combined, persist=False).features(spec)
+    assert xs.tobytes() == np.ascontiguousarray(spec.matrix(mono)).tobytes()
+
+
+def test_shard_channel_windows_byte_identical():
+    combined, mono = _streamed([2, 2])
+    from repro.features import LDMS_SPEC
+
+    ch = LDMS_SPEC.feature_names()[0]
+    xs, ys, gs = get_store(combined, persist=False).channel_windows(ch, 3, 2)
+    feats = LDMS_SPEC.matrix(mono)
+    xm, ym, gm = build_windows(feats, feats[:, :, 0], 3, 2)
+    assert np.array_equal(xs, xm)
+    assert np.array_equal(ys, ym)
+    assert np.array_equal(gm, gs)
+
+
+def test_interleave_rejects_mismatched_shards():
+    a = build_windows(np.zeros((2, 8, 3)), np.zeros((2, 8)), 2, 1)
+    b = build_windows(np.zeros((1, 9, 3)), np.zeros((1, 9)), 2, 1)
+    with pytest.raises(ValueError):
+        interleave_windows([a, b], [2, 1])
+    with pytest.raises(ValueError):
+        interleave_windows([a], [2, 1])
+
+
+def test_append_counters_track_shard_reuse(tmp_path, monkeypatch):
+    """Appending one shard rebuilds exactly that shard's tensor."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    hits = METRICS.counter("features.append.hit")
+    misses = METRICS.counter("features.append.miss")
+    combined, _ = _streamed([2, 3])
+    h0, m0 = hits.value, misses.value
+    get_store(combined, persist=True).windows("app", 3, 2)
+    assert (hits.value - h0, misses.value - m0) == (0, 2)
+
+    # Rebuild with one extra shard in a fresh process-equivalent state:
+    # the two old shards disk-hit, only the new one builds.
+    views = combined.shard_views
+    extra = _dataset(key="SYN-64", n=2, t=12, seed=999)
+    extra.campaign_fingerprint = "window2extra0fp0"
+    bigger = _combine_shards(
+        "SYN-64",
+        [v.__class__(key=v.key, runs=list(v.runs),
+                     campaign_fingerprint=v.campaign_fingerprint)
+         for v in views] + [extra],
+        [v.campaign_fingerprint for v in views] + [extra.campaign_fingerprint],
+        [0.0, 0.0, 0.0],
+        "streamfp11111111",
+    )
+    h0, m0 = hits.value, misses.value
+    get_store(bigger, persist=True).windows("app", 3, 2)
+    assert (hits.value - h0, misses.value - m0) == (2, 1)
+
+
+@pytest.mark.parametrize("cell", [None, ("df+", "valiant")])
+def test_real_stream_windows_byte_identical_per_cell(
+    cell, tmp_path, monkeypatch
+):
+    """Both topology cells: streamed tensors == monolithic tensors."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path))
+    overrides = {}
+    if cell is not None:
+        from repro.campaign.validate import validate_axis
+
+        topo, routing = validate_axis(*cell)
+        overrides = {"topology": topo, "routing": routing}
+    base = CampaignConfig.tiny(**overrides)
+    camp = run_stream(StreamConfig(base=base, windows=2, window_days=2.0))
+    ds = camp["MILC-128"]
+    assert len(ds.shard_views) == 2
+    spec = FeatureSpec.resolve("app")
+    for m, k in [(1, 1), (4, 3)]:
+        xs, ys, gs = get_store(ds, persist=False).windows(spec, m, k)
+        xm, ym, gm = build_windows(
+            spec.matrix(ds), [r.step_times for r in ds.runs], m, k
+        )
+        assert xs.tobytes() == np.ascontiguousarray(xm).tobytes()
+        assert ys.tobytes() == np.ascontiguousarray(ym).tobytes()
+        assert gs.tobytes() == np.ascontiguousarray(gm).tobytes()

